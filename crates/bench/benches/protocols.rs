@@ -1,0 +1,172 @@
+//! Criterion micro/meso benchmarks for the protocol substrates and the
+//! end-to-end engines. These measure *implementation* cost (events/sec of
+//! the simulator and its data structures), complementing the figure
+//! harnesses in `src/bin/` which measure *protocol* behaviour.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use bloom::BloomFilter;
+use chord::{Chord, ChordConfig, ChordId, NodeRef};
+use flower_cdn::{DirectoryIndex, FlowerSim, SimParams, SquirrelMode, SquirrelSim};
+use gossip::{Cyclon, Entry, GossipMsg, ShuffleMode};
+use simnet::NodeId;
+use workload::{ObjectId, WebsiteId, Zipf};
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom");
+    g.bench_function("insert_500", |b| {
+        b.iter_batched(
+            || BloomFilter::with_rate(500, 0.02),
+            |mut f| {
+                for k in 0..500u64 {
+                    f.insert(k);
+                }
+                f
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut filter = BloomFilter::with_rate(500, 0.02);
+    for k in 0..500u64 {
+        filter.insert(k * 3);
+    }
+    g.bench_function("contains", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(7);
+            filter.contains(k)
+        })
+    });
+    g.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.bench_function("zipf_build_500", |b| b.iter(|| Zipf::new(500, 0.8)));
+    let z = Zipf::new(500, 0.8);
+    let mut rng = StdRng::seed_from_u64(1);
+    g.bench_function("zipf_sample", |b| b.iter(|| z.sample(&mut rng)));
+    g.finish();
+}
+
+fn bench_chord(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chord");
+    // Converged 600-node ring (the D-ring size of the paper).
+    let mut ring: Vec<NodeRef> = (0..600)
+        .map(|i| {
+            NodeRef::new(
+                NodeId::from_index(i),
+                ChordId(bloom::hash::hash_u64(i as u64, 42)),
+            )
+        })
+        .collect();
+    ring.sort_by_key(|r| r.id.0);
+    g.bench_function("converged_construction_600", |b| {
+        b.iter(|| Chord::converged(300, &ring, ChordConfig::default()))
+    });
+    let (mut node, _) = Chord::converged(300, &ring, ChordConfig::default());
+    let mut key = 0u64;
+    g.bench_function("lookup_local_resolution", |b| {
+        b.iter(|| {
+            key = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            node.lookup(ChordId(key))
+        })
+    });
+    g.finish();
+}
+
+fn bench_gossip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gossip");
+    g.bench_function("shuffle_round_trip", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mk = |i: usize| {
+            let mut c = Cyclon::new(NodeId::from_index(i), ShuffleMode::Union, 5, 0)
+                .with_max_age(6);
+            c.seed((0..20).map(|j| {
+                Entry::new(NodeId::from_index(100 + j), BloomFilter::with_rate(64, 0.02))
+            }));
+            c
+        };
+        b.iter_batched(
+            || (mk(0), mk(1)),
+            |(mut a, mut bb)| {
+                let payload = BloomFilter::with_rate(64, 0.02);
+                if let Some((_t, GossipMsg::ShuffleReq { entries }, _gen)) =
+                    a.start_shuffle(payload.clone(), &mut rng)
+                {
+                    let reply =
+                        bb.handle_request(a.me(), entries, payload, &mut rng);
+                    if let GossipMsg::ShuffleReply { entries } = reply {
+                        a.handle_reply(bb.me(), entries);
+                    }
+                }
+                (a, bb)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_directory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("directory");
+    g.bench_function("record_and_lookup", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter_batched(
+            DirectoryIndex::new,
+            |mut idx| {
+                for p in 0..30usize {
+                    let objects: Vec<ObjectId> = (0..10)
+                        .map(|_| ObjectId {
+                            website: WebsiteId(0),
+                            rank: rng.gen_range(0..500),
+                        })
+                        .collect();
+                    idx.record_objects(NodeId::from_index(p), objects, 0);
+                }
+                for probe in 0..50u16 {
+                    let o = ObjectId {
+                        website: WebsiteId(0),
+                        rank: probe * 7 % 500,
+                    };
+                    let _ = idx.provider_for(o, &[], &mut rng);
+                }
+                idx
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_simulations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    let params = || {
+        let mut p = SimParams::quick(120, 20 * 60_000);
+        p.catalog.websites = 4;
+        p.catalog.active_websites = 2;
+        p.catalog.objects_per_site = 80;
+        p
+    };
+    g.bench_function("flower_20min_120peers", |b| {
+        b.iter(|| FlowerSim::new(params()).run())
+    });
+    g.bench_function("squirrel_20min_120peers", |b| {
+        b.iter(|| SquirrelSim::new(params(), SquirrelMode::Directory).run())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bloom,
+    bench_zipf,
+    bench_chord,
+    bench_gossip,
+    bench_directory,
+    bench_simulations
+);
+criterion_main!(benches);

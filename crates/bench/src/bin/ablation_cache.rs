@@ -1,0 +1,99 @@
+//! Ablation A3: bounded caches. The paper footnotes cache replacement as
+//! out of scope and assumes unlimited storage (§6.1); this harness
+//! measures what the assumption is worth by sweeping an LRU capacity over
+//! the peer stores and watching the hit ratio.
+//!
+//! Expected shape: the hit ratio degrades gracefully as capacity shrinks —
+//! Zipf popularity means small caches still retain most of the useful
+//! mass — and index retraction keeps directories from redirecting to
+//! evicted content (fetch-miss rates stay low).
+//!
+//! ```sh
+//! cargo run --release -p flower-bench --bin ablation_cache [-- --quick]
+//! ```
+
+use cdn_metrics::{ascii_table, Csv};
+use flower_bench::{HarnessOpts, Scale};
+use flower_cdn::peer::ProtocolEvent;
+use flower_cdn::{FlowerSim, SimParams, StorePolicy};
+
+fn base(opts: &HarnessOpts) -> SimParams {
+    match opts.scale {
+        Scale::Paper => opts.params(3_000),
+        Scale::Quick => {
+            let horizon = 2 * 3_600_000;
+            let mut p = SimParams::quick(300, horizon);
+            p.seed = opts.seed.unwrap_or(p.seed);
+            p.mean_uptime_ms = horizon / 4;
+            p.query_period_ms = p.mean_uptime_ms / 16;
+            p.gossip_period_ms = p.mean_uptime_ms;
+            p.catalog.websites = 6;
+            p.catalog.active_websites = 3;
+            p.catalog.objects_per_site = 200;
+            p
+        }
+    }
+}
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let policies = [
+        (StorePolicy::Unlimited, "unlimited (paper)".to_string()),
+        (StorePolicy::Lru { capacity: 20 }, "LRU 20".to_string()),
+        (StorePolicy::Lru { capacity: 10 }, "LRU 10".to_string()),
+        (StorePolicy::Lru { capacity: 5 }, "LRU 5".to_string()),
+        (StorePolicy::Lru { capacity: 2 }, "LRU 2".to_string()),
+    ];
+    let mut rows = Vec::new();
+    for (policy, label) in policies {
+        let mut params = base(&opts);
+        params.store_policy = policy;
+        let r = FlowerSim::new(params).run();
+        let fetch_misses = r.events.get(&ProtocolEvent::FetchMiss).copied().unwrap_or(0);
+        rows.push((
+            label,
+            r.stats.hit_ratio(),
+            r.stats.mean_lookup_ms(),
+            fetch_misses,
+            r.stats.queries,
+        ));
+    }
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(label, hit, lookup, misses, queries)| {
+            vec![
+                label.clone(),
+                format!("{hit:.3}"),
+                format!("{lookup:.0} ms"),
+                format!("{misses}"),
+                format!("{queries}"),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(
+            "Ablation A3: LRU cache capacity vs hit ratio",
+            &["policy", "hit ratio", "mean lookup", "fetch misses", "queries"],
+            &rendered,
+        )
+    );
+    println!(
+        "shape check: Zipf workloads keep most of the useful mass in small\n\
+         caches, so the hit ratio should fall gently with capacity; stale\n\
+         redirects (fetch misses) stay rare thanks to index retraction."
+    );
+    let mut csv = Csv::new(&["policy", "hit_ratio", "mean_lookup_ms", "fetch_misses", "queries"]);
+    for (label, hit, lookup, misses, queries) in rows {
+        csv.row(&[
+            label,
+            format!("{hit:.4}"),
+            format!("{lookup:.1}"),
+            misses.to_string(),
+            queries.to_string(),
+        ]);
+    }
+    let path = opts.results_dir().join("ablation_cache.csv");
+    csv.save(&path).expect("write results csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,50 @@
+//! Figure 3: evolution of the (cumulative) hit ratio over the 24-hour run,
+//! Flower-CDN vs Squirrel at P = 3000 under the paper's churn.
+//!
+//! Paper shape: Squirrel leads during the warm-up, then churn caps it while
+//! Flower-CDN keeps climbing — "the improvement reaches 40% after 24
+//! simulation hours" (§6.2.1).
+//!
+//! ```sh
+//! cargo run --release -p flower-bench --bin fig3_hit_ratio            # paper scale
+//! cargo run --release -p flower-bench --bin fig3_hit_ratio -- --quick # smoke test
+//! ```
+
+use cdn_metrics::{ascii_lines, Csv};
+use flower_bench::HarnessOpts;
+use flower_cdn::experiments::{hit_ratio_series, run_comparison};
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let params = opts.params(3_000);
+    println!("{}", params.table1());
+    println!("running Flower-CDN and Squirrel side by side…");
+    let run = run_comparison(params.clone());
+
+    let bucket = (params.horizon_ms / 24).max(60_000);
+    let flower = hit_ratio_series(&run.flower.records, bucket);
+    let squirrel = hit_ratio_series(&run.squirrel.records, bucket);
+
+    let chart = ascii_lines(
+        "Figure 3: hit ratio over time (cumulative)",
+        &[("Flower-CDN", &flower), ("Squirrel", &squirrel)],
+        72,
+        20,
+    );
+    println!("{chart}");
+    println!(
+        "final hit ratio: Flower-CDN {:.3}  Squirrel {:.3}  (relative improvement {:+.0}%)",
+        run.flower.stats.hit_ratio(),
+        run.squirrel.stats.hit_ratio(),
+        (run.flower.stats.hit_ratio() / run.squirrel.stats.hit_ratio() - 1.0) * 100.0
+    );
+
+    let mut csv = Csv::new(&["hours", "flower_hit_ratio", "squirrel_hit_ratio"]);
+    for (i, (h, f)) in flower.iter().enumerate() {
+        let s = squirrel.get(i).map(|&(_, s)| s).unwrap_or(f64::NAN);
+        csv.row(&[format!("{h:.2}"), format!("{f:.4}"), format!("{s:.4}")]);
+    }
+    let path = opts.results_dir().join("fig3_hit_ratio.csv");
+    csv.save(&path).expect("write results csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,59 @@
+//! Figure 4: lookup latency distribution at P = 3000.
+//!
+//! Paper shape: "66% of our queries are resolved within 150 ms while 75% of
+//! Squirrel's queries take more than 1200 ms" (§6.2.1) — Flower-CDN mass
+//! concentrates in the low buckets, Squirrel's in the overflow.
+//!
+//! ```sh
+//! cargo run --release -p flower-bench --bin fig4_lookup_latency [-- --quick]
+//! ```
+
+use cdn_metrics::{ascii_bars, Csv};
+use flower_bench::HarnessOpts;
+use flower_cdn::experiments::{lookup_histogram, run_comparison};
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let params = opts.params(3_000);
+    println!("{}", params.table1());
+    println!("running Flower-CDN and Squirrel side by side…");
+    let run = run_comparison(params);
+
+    let f = lookup_histogram(&run.flower.records);
+    let s = lookup_histogram(&run.squirrel.records);
+
+    let chart = ascii_bars(
+        "Figure 4: lookup latency distribution (fraction of queries per bucket, ms)",
+        &f.labels(),
+        &[
+            ("Flower-CDN", f.fractions()),
+            ("Squirrel", s.fractions()),
+        ],
+    );
+    println!("{chart}");
+    println!(
+        "within 150 ms : Flower-CDN {:.0}%  Squirrel {:.0}%   (paper: 66% vs —)",
+        f.fraction_within(150) * 100.0,
+        s.fraction_within(150) * 100.0
+    );
+    println!(
+        "beyond 1200 ms: Flower-CDN {:.0}%  Squirrel {:.0}%   (paper: — vs 75%)",
+        f.fraction_overflow() * 100.0,
+        s.fraction_overflow() * 100.0
+    );
+    println!(
+        "mean lookup   : Flower-CDN {:.0} ms  Squirrel {:.0} ms  (factor {:.1}×)",
+        f.mean(),
+        s.mean(),
+        s.mean() / f.mean().max(1.0)
+    );
+
+    let mut csv = Csv::new(&["bucket_ms", "flower_fraction", "squirrel_fraction"]);
+    let (ff, sf) = (f.fractions(), s.fractions());
+    for (i, label) in f.labels().iter().enumerate() {
+        csv.row(&[label.clone(), format!("{:.4}", ff[i]), format!("{:.4}", sf[i])]);
+    }
+    let path = opts.results_dir().join("fig4_lookup_latency.csv");
+    csv.save(&path).expect("write results csv");
+    println!("wrote {}", path.display());
+}

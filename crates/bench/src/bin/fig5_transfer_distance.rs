@@ -1,0 +1,55 @@
+//! Figure 5: transfer distance distribution at P = 3000.
+//!
+//! Paper shape: "the percentage of queries served from a distance within
+//! 100 ms is 62% for Flower-CDN and 22% for Squirrel" (§6.2.1) —
+//! locality-aware petals serve from nearby providers, Squirrel from random
+//! physical locations.
+//!
+//! ```sh
+//! cargo run --release -p flower-bench --bin fig5_transfer_distance [-- --quick]
+//! ```
+
+use cdn_metrics::{ascii_bars, Csv};
+use flower_bench::HarnessOpts;
+use flower_cdn::experiments::{run_comparison, transfer_histogram};
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let params = opts.params(3_000);
+    println!("{}", params.table1());
+    println!("running Flower-CDN and Squirrel side by side…");
+    let run = run_comparison(params);
+
+    let f = transfer_histogram(&run.flower.records);
+    let s = transfer_histogram(&run.squirrel.records);
+
+    let chart = ascii_bars(
+        "Figure 5: transfer distance distribution (fraction of queries per bucket, ms)",
+        &f.labels(),
+        &[
+            ("Flower-CDN", f.fractions()),
+            ("Squirrel", s.fractions()),
+        ],
+    );
+    println!("{chart}");
+    println!(
+        "within 100 ms: Flower-CDN {:.0}%  Squirrel {:.0}%   (paper: 62% vs 22%)",
+        f.fraction_within(100) * 100.0,
+        s.fraction_within(100) * 100.0
+    );
+    println!(
+        "mean transfer: Flower-CDN {:.0} ms  Squirrel {:.0} ms  (factor {:.1}×)",
+        f.mean(),
+        s.mean(),
+        s.mean() / f.mean().max(1.0)
+    );
+
+    let mut csv = Csv::new(&["bucket_ms", "flower_fraction", "squirrel_fraction"]);
+    let (ff, sf) = (f.fractions(), s.fractions());
+    for (i, label) in f.labels().iter().enumerate() {
+        csv.row(&[label.clone(), format!("{:.4}", ff[i]), format!("{:.4}", sf[i])]);
+    }
+    let path = opts.results_dir().join("fig5_transfer_distance.csv");
+    csv.save(&path).expect("write results csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,106 @@
+//! Combined harness: regenerates Figures 3, 4 and 5 from a **single**
+//! P = 3000 comparison run (all three figures come from the same pair of
+//! simulations in the paper too, §6.2.1). Use the individual
+//! `fig3_hit_ratio` / `fig4_lookup_latency` / `fig5_transfer_distance`
+//! binaries when only one artifact is needed.
+//!
+//! ```sh
+//! cargo run --release -p flower-bench --bin figures_p3000 [-- --quick]
+//! ```
+
+use cdn_metrics::{ascii_bars, ascii_lines, Csv};
+use flower_bench::HarnessOpts;
+use flower_cdn::experiments::{
+    hit_ratio_series, lookup_histogram, run_comparison, transfer_histogram,
+};
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let params = opts.params(3_000);
+    println!("{}", params.table1());
+    println!("running Flower-CDN and Squirrel side by side…");
+    let run = run_comparison(params.clone());
+    let dir = opts.results_dir();
+
+    // ---------------- Figure 3 ----------------
+    let bucket = (params.horizon_ms / 24).max(60_000);
+    let flower = hit_ratio_series(&run.flower.records, bucket);
+    let squirrel = hit_ratio_series(&run.squirrel.records, bucket);
+    println!(
+        "{}",
+        ascii_lines(
+            "Figure 3: hit ratio over time (cumulative)",
+            &[("Flower-CDN", &flower), ("Squirrel", &squirrel)],
+            72,
+            18,
+        )
+    );
+    println!(
+        "final hit ratio: Flower-CDN {:.3}  Squirrel {:.3}  ({:+.0}% relative)",
+        run.flower.stats.hit_ratio(),
+        run.squirrel.stats.hit_ratio(),
+        (run.flower.stats.hit_ratio() / run.squirrel.stats.hit_ratio() - 1.0) * 100.0
+    );
+    let mut csv = Csv::new(&["hours", "flower_hit_ratio", "squirrel_hit_ratio"]);
+    for (i, (h, f)) in flower.iter().enumerate() {
+        let s = squirrel.get(i).map(|&(_, s)| s).unwrap_or(f64::NAN);
+        csv.row(&[format!("{h:.2}"), format!("{f:.4}"), format!("{s:.4}")]);
+    }
+    csv.save(dir.join("fig3_hit_ratio.csv")).expect("csv");
+
+    // ---------------- Figure 4 ----------------
+    let fl = lookup_histogram(&run.flower.records);
+    let sl = lookup_histogram(&run.squirrel.records);
+    println!(
+        "{}",
+        ascii_bars(
+            "Figure 4: lookup latency distribution (fraction per bucket, ms)",
+            &fl.labels(),
+            &[("Flower-CDN", fl.fractions()), ("Squirrel", sl.fractions())],
+        )
+    );
+    println!(
+        "within 150 ms: F {:.0}% / S {:.0}%   beyond 1200 ms: F {:.0}% / S {:.0}%   mean: F {:.0} / S {:.0} ms ({:.1}×)",
+        fl.fraction_within(150) * 100.0,
+        sl.fraction_within(150) * 100.0,
+        fl.fraction_overflow() * 100.0,
+        sl.fraction_overflow() * 100.0,
+        fl.mean(),
+        sl.mean(),
+        sl.mean() / fl.mean().max(1.0),
+    );
+    let mut csv = Csv::new(&["bucket_ms", "flower_fraction", "squirrel_fraction"]);
+    let (ff, sf) = (fl.fractions(), sl.fractions());
+    for (i, label) in fl.labels().iter().enumerate() {
+        csv.row(&[label.clone(), format!("{:.4}", ff[i]), format!("{:.4}", sf[i])]);
+    }
+    csv.save(dir.join("fig4_lookup_latency.csv")).expect("csv");
+
+    // ---------------- Figure 5 ----------------
+    let ft = transfer_histogram(&run.flower.records);
+    let st = transfer_histogram(&run.squirrel.records);
+    println!(
+        "{}",
+        ascii_bars(
+            "Figure 5: transfer distance distribution (fraction per bucket, ms)",
+            &ft.labels(),
+            &[("Flower-CDN", ft.fractions()), ("Squirrel", st.fractions())],
+        )
+    );
+    println!(
+        "within 100 ms: F {:.0}% / S {:.0}%   mean transfer: F {:.0} / S {:.0} ms ({:.1}×)",
+        ft.fraction_within(100) * 100.0,
+        st.fraction_within(100) * 100.0,
+        ft.mean(),
+        st.mean(),
+        st.mean() / ft.mean().max(1.0),
+    );
+    let mut csv = Csv::new(&["bucket_ms", "flower_fraction", "squirrel_fraction"]);
+    let (ff, sf) = (ft.fractions(), st.fractions());
+    for (i, label) in ft.labels().iter().enumerate() {
+        csv.row(&[label.clone(), format!("{:.4}", ff[i]), format!("{:.4}", sf[i])]);
+    }
+    csv.save(dir.join("fig5_transfer_distance.csv")).expect("csv");
+
+    println!("wrote results/fig3_hit_ratio.csv, fig4_lookup_latency.csv, fig5_transfer_distance.csv");
+}

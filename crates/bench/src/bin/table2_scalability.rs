@@ -1,0 +1,75 @@
+//! Table 2: the scalability sweep — hit ratio, mean lookup latency and mean
+//! transfer distance for both systems at P ∈ {2000, 3000, 4000, 5000}.
+//!
+//! Paper shape: Flower-CDN "leverages larger scales to achieve higher
+//! improvements" — its hit ratio grows 0.63 → 0.72 with scale while lookup
+//! and transfer latencies *drop*; Squirrel's hit also grows but its lookup
+//! latency stays ~1.5 s flat (§6.2.2).
+//!
+//! Runs all (population, system) pairs on parallel OS threads; at paper
+//! scale expect tens of minutes of wall-clock time.
+//!
+//! ```sh
+//! cargo run --release -p flower-bench --bin table2_scalability [-- --quick]
+//! ```
+
+use cdn_metrics::{ascii_table, Csv};
+use flower_bench::{HarnessOpts, Scale};
+use flower_cdn::experiments::table2_scalability;
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let base = opts.params(2_000);
+    let populations: Vec<usize> = match opts.scale {
+        Scale::Paper => vec![2_000, 3_000, 4_000, 5_000],
+        Scale::Quick => vec![200, 400, 600],
+    };
+    println!("{}", base.table1());
+    println!(
+        "sweeping populations {:?} for both systems ({} parallel runs)…",
+        populations,
+        populations.len() * 2
+    );
+    let rows = table2_scalability(&base, &populations);
+
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.population.to_string(),
+                r.system.label().to_string(),
+                format!("{:.2}", r.hit_ratio),
+                format!("{:.0} ms", r.mean_lookup_ms),
+                format!("{:.0} ms", r.mean_transfer_ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(
+            "Table 2: Scalability in Flower-CDN and Squirrel",
+            &["P", "approach", "hit ratio", "lookup", "transfer"],
+            &rendered,
+        )
+    );
+
+    let mut csv = Csv::new(&[
+        "population",
+        "system",
+        "hit_ratio",
+        "mean_lookup_ms",
+        "mean_transfer_ms",
+    ]);
+    for r in &rows {
+        csv.row(&[
+            r.population.to_string(),
+            r.system.label().to_string(),
+            format!("{:.4}", r.hit_ratio),
+            format!("{:.1}", r.mean_lookup_ms),
+            format!("{:.1}", r.mean_transfer_ms),
+        ]);
+    }
+    let path = opts.results_dir().join("table2_scalability.csv");
+    csv.save(&path).expect("write results csv");
+    println!("wrote {}", path.display());
+}

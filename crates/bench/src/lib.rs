@@ -1,0 +1,131 @@
+//! Shared harness for the figure/table regeneration binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--quick` — a reduced-scale run (minutes of virtual time, small
+//!   population) for smoke-testing the pipeline;
+//! * `--population N` — override the mean population (where applicable);
+//! * `--seed N` — override the RNG seed.
+//!
+//! Without flags, binaries run the **paper-scale** configuration
+//! (Table 1: 24 simulated hours, 100 websites × 500 objects, k = 6,
+//! uptime 60 min) — expect minutes of wall-clock time per simulated
+//! system. Results are written under `results/` as CSV and rendered as
+//! ASCII charts on stdout.
+
+use flower_cdn::SimParams;
+
+/// Scale selection for a harness run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Table 1 of the paper.
+    Paper,
+    /// Reduced scale for smoke tests.
+    Quick,
+}
+
+/// Command-line options shared by every harness binary.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    pub scale: Scale,
+    pub population: Option<usize>,
+    pub seed: Option<u64>,
+}
+
+impl HarnessOpts {
+    /// Parse from `std::env::args`. Unknown flags abort with usage help.
+    pub fn parse() -> HarnessOpts {
+        let mut opts = HarnessOpts {
+            scale: Scale::Paper,
+            population: None,
+            seed: None,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => opts.scale = Scale::Quick,
+                "--population" => {
+                    let v = args.next().expect("--population needs a value");
+                    opts.population = Some(v.parse().expect("population must be a number"));
+                }
+                "--seed" => {
+                    let v = args.next().expect("--seed needs a value");
+                    opts.seed = Some(v.parse().expect("seed must be a number"));
+                }
+                "--help" | "-h" => {
+                    eprintln!("usage: <bin> [--quick] [--population N] [--seed N]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        opts
+    }
+
+    /// The simulation parameters this invocation asks for. `default_pop`
+    /// is the population used at paper scale when none is given.
+    pub fn params(&self, default_pop: usize) -> SimParams {
+        let mut p = match self.scale {
+            Scale::Paper => SimParams::paper_defaults(self.population.unwrap_or(default_pop)),
+            Scale::Quick => {
+                let horizon = 2 * 3_600_000;
+                let mut p = SimParams::quick(self.population.unwrap_or(300), horizon);
+                p.mean_uptime_ms = horizon / 4;
+                p.query_period_ms = p.mean_uptime_ms / 12;
+                p.gossip_period_ms = p.mean_uptime_ms;
+                p.catalog.websites = 10;
+                p.catalog.active_websites = 3;
+                p.catalog.objects_per_site = 200;
+                p
+            }
+        };
+        if let Some(seed) = self.seed {
+            p.seed = seed;
+        }
+        p
+    }
+
+    /// Where result CSVs go.
+    pub fn results_dir(&self) -> std::path::PathBuf {
+        std::path::PathBuf::from("results")
+    }
+}
+
+/// Pretty hour-by-hour label for a series point.
+pub fn fmt_hours(h: f64) -> String {
+    format!("{h:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_params_match_table1() {
+        let opts = HarnessOpts {
+            scale: Scale::Paper,
+            population: None,
+            seed: None,
+        };
+        let p = opts.params(3_000);
+        assert_eq!(p.population, 3_000);
+        assert_eq!(p.horizon_ms, 24 * 3_600_000);
+        assert_eq!(p.catalog.websites, 100);
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let opts = HarnessOpts {
+            scale: Scale::Quick,
+            population: Some(123),
+            seed: Some(9),
+        };
+        let p = opts.params(3_000);
+        assert_eq!(p.population, 123);
+        assert_eq!(p.seed, 9);
+        assert!(p.horizon_ms < 24 * 3_600_000);
+    }
+}

@@ -1,0 +1,193 @@
+//! Chord identifier space and ring arithmetic.
+//!
+//! Identifiers live on a ring of size 2^64. All interval tests are modular:
+//! `(a, b)` denotes the set of ids strictly clockwise of `a` and strictly
+//! counter-clockwise of `b`, wrapping through 0 when `a >= b`.
+
+use std::fmt;
+
+use simnet::NodeId;
+
+/// A position on the 2^64 identifier ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChordId(pub u64);
+
+impl ChordId {
+    /// Number of bits in the identifier space.
+    pub const BITS: u32 = 64;
+
+    /// The id `self + 2^i (mod 2^64)` — the start of finger interval `i`.
+    pub fn finger_start(self, i: u32) -> ChordId {
+        debug_assert!(i < Self::BITS);
+        ChordId(self.0.wrapping_add(1u64 << i))
+    }
+
+    /// Clockwise distance from `self` to `other`.
+    pub fn distance_to(self, other: ChordId) -> u64 {
+        other.0.wrapping_sub(self.0)
+    }
+
+    /// `x ∈ (a, b)` on the ring (empty when `a == b` — a single-element
+    /// "ring interval" `(a, a)` covers everything *except* `a` in Chord's
+    /// usage, see [`ChordId::in_open_full`]).
+    pub fn in_open(self, a: ChordId, b: ChordId) -> bool {
+        let d_ab = a.distance_to(b);
+        let d_ax = a.distance_to(self);
+        d_ax > 0 && d_ax < d_ab
+    }
+
+    /// `x ∈ (a, b)` with the Chord convention that when `a == b` the
+    /// interval is the whole ring minus `a` (used by `closest_preceding`
+    /// when a node is its own successor).
+    pub fn in_open_full(self, a: ChordId, b: ChordId) -> bool {
+        if a == b {
+            self != a
+        } else {
+            self.in_open(a, b)
+        }
+    }
+
+    /// `x ∈ (a, b]` on the ring, with `(a, a]` = whole ring (every key is
+    /// owned by the only node).
+    pub fn in_open_closed(self, a: ChordId, b: ChordId) -> bool {
+        if a == b {
+            return true;
+        }
+        let d_ab = a.distance_to(b);
+        let d_ax = a.distance_to(self);
+        d_ax > 0 && d_ax <= d_ab
+    }
+}
+
+impl fmt::Display for ChordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// A network address paired with its ring position — how Chord nodes refer
+/// to each other in every message and table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeRef {
+    pub node: NodeId,
+    pub id: ChordId,
+}
+
+impl NodeRef {
+    pub fn new(node: NodeId, id: ChordId) -> NodeRef {
+        NodeRef { node, id }
+    }
+}
+
+impl fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.node, self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn id(x: u64) -> ChordId {
+        ChordId(x)
+    }
+
+    #[test]
+    fn open_interval_no_wrap() {
+        assert!(id(5).in_open(id(1), id(10)));
+        assert!(!id(1).in_open(id(1), id(10)));
+        assert!(!id(10).in_open(id(1), id(10)));
+        assert!(!id(11).in_open(id(1), id(10)));
+    }
+
+    #[test]
+    fn open_interval_wraps_through_zero() {
+        let a = id(u64::MAX - 5);
+        let b = id(10);
+        assert!(id(u64::MAX).in_open(a, b));
+        assert!(id(0).in_open(a, b));
+        assert!(id(9).in_open(a, b));
+        assert!(!id(10).in_open(a, b));
+        assert!(!id(100).in_open(a, b));
+    }
+
+    #[test]
+    fn open_closed_includes_upper_bound() {
+        assert!(id(10).in_open_closed(id(1), id(10)));
+        assert!(!id(1).in_open_closed(id(1), id(10)));
+        // Degenerate single-node ring: everything is in (a, a].
+        assert!(id(999).in_open_closed(id(7), id(7)));
+        assert!(id(7).in_open_closed(id(7), id(7)));
+    }
+
+    #[test]
+    fn open_full_excludes_only_the_endpoint() {
+        assert!(id(999).in_open_full(id(7), id(7)));
+        assert!(!id(7).in_open_full(id(7), id(7)));
+        assert!(id(5).in_open_full(id(1), id(10)));
+    }
+
+    #[test]
+    fn finger_starts_double() {
+        let n = id(100);
+        assert_eq!(n.finger_start(0), id(101));
+        assert_eq!(n.finger_start(1), id(102));
+        assert_eq!(n.finger_start(10), id(100 + 1024));
+        // wraps
+        assert_eq!(id(u64::MAX).finger_start(0), id(0));
+    }
+
+    #[test]
+    fn distance_is_clockwise() {
+        assert_eq!(id(10).distance_to(id(15)), 5);
+        assert_eq!(id(15).distance_to(id(10)), u64::MAX - 4);
+        assert_eq!(id(7).distance_to(id(7)), 0);
+    }
+
+    proptest! {
+        /// (a,b) and (b,a) partition the ring minus the endpoints.
+        #[test]
+        fn prop_open_intervals_partition(a: u64, b: u64, x: u64) {
+            prop_assume!(a != b);
+            let (a, b, x) = (id(a), id(b), id(x));
+            if x != a && x != b {
+                prop_assert!(x.in_open(a, b) ^ x.in_open(b, a));
+            } else {
+                prop_assert!(!x.in_open(a, b) && !x.in_open(b, a));
+            }
+        }
+
+        /// x ∈ (a,b] iff x ∈ (a,b) or x == b (for a != b).
+        #[test]
+        fn prop_open_closed_consistent(a: u64, b: u64, x: u64) {
+            prop_assume!(a != b);
+            let (a, b, x) = (id(a), id(b), id(x));
+            prop_assert_eq!(
+                x.in_open_closed(a, b),
+                x.in_open(a, b) || x == b
+            );
+        }
+
+        /// Distances compose: d(a,b) + d(b,c) ≡ d(a,c) (mod 2^64), and a
+        /// round trip returns to the start.
+        #[test]
+        fn prop_distance_composes(a: u64, b: u64, c: u64) {
+            let (a, b, c) = (id(a), id(b), id(c));
+            prop_assert_eq!(
+                a.distance_to(b).wrapping_add(b.distance_to(c)),
+                a.distance_to(c)
+            );
+            prop_assert_eq!(a.distance_to(b).wrapping_add(b.distance_to(a)), 0);
+        }
+
+        /// in_open is irreflexive in its endpoints.
+        #[test]
+        fn prop_endpoints_excluded(a: u64, b: u64) {
+            let (a, b) = (id(a), id(b));
+            prop_assert!(!a.in_open(a, b));
+            prop_assert!(!b.in_open(a, b));
+        }
+    }
+}

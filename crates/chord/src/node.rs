@@ -1,0 +1,1177 @@
+//! The Chord node state machine.
+//!
+//! Implements the protocol of Stoica et al. (SIGCOMM 2001) with the
+//! robustness refinements that matter under the paper's churn level:
+//! successor **lists** (not a single successor), iterative lookups with
+//! per-step timeouts and failure-aware retry, and the standard
+//! `stabilize` / `notify` / `fix_fingers` / `check_predecessor` maintenance
+//! loop.
+//!
+//! The struct is sans-io: every entry point returns the [`ChordAction`]s the
+//! host must apply (sends, timers, completion notifications).
+
+use std::collections::HashMap;
+
+use simnet::NodeId;
+
+use crate::id::{ChordId, NodeRef};
+use crate::proto::{ChordAction, ChordMsg, ChordTimer, StepResult};
+
+/// Tuning knobs. Defaults suit a ring of a few hundred to a few thousand
+/// nodes under minute-scale churn.
+#[derive(Debug, Clone)]
+pub struct ChordConfig {
+    /// Successor list length `r`. Chord survives `r-1` consecutive
+    /// successor failures between stabilizations.
+    pub successor_list_len: usize,
+    /// Stabilize period in ms.
+    pub stabilize_period_ms: u64,
+    /// Fix-fingers period in ms (one finger repaired per firing).
+    pub fix_fingers_period_ms: u64,
+    /// Predecessor liveness check period in ms.
+    pub check_predecessor_period_ms: u64,
+    /// Per-step RPC deadline in ms; should exceed one round trip on the
+    /// slowest link (paper: 500 ms one-way).
+    pub rpc_timeout_ms: u64,
+    /// Give up an external lookup after this many failed steps.
+    pub max_lookup_failures: u32,
+    /// Whole-attempt deadline for recursive routes; should cover
+    /// `O(log N)` one-way hops on slow links.
+    pub recursive_deadline_ms: u64,
+    /// Attempts (through distinct first hops) before a recursive route
+    /// fails.
+    pub max_route_attempts: u32,
+    /// Fingers repaired per fix-fingers firing. Under minute-scale churn
+    /// the whole table must be swept in a small fraction of the mean
+    /// uptime, or routes keep forwarding into dead fingers.
+    pub fingers_per_round: u32,
+}
+
+impl Default for ChordConfig {
+    fn default() -> Self {
+        ChordConfig {
+            successor_list_len: 8,
+            stabilize_period_ms: 30_000,
+            fix_fingers_period_ms: 15_000,
+            check_predecessor_period_ms: 30_000,
+            rpc_timeout_ms: 1_500,
+            max_lookup_failures: 8,
+            recursive_deadline_ms: 3_500,
+            max_route_attempts: 4,
+            fingers_per_round: 8,
+        }
+    }
+}
+
+/// Why a lookup was started; decides what happens on completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Purpose {
+    /// Host-requested; completion is reported via `LookupDone`.
+    External,
+    /// Resolving our own id during join.
+    Join,
+    /// Repairing finger `i`.
+    Finger(u32),
+}
+
+#[derive(Debug)]
+struct Lookup {
+    key: ChordId,
+    purpose: Purpose,
+    /// Never answer this lookup from our own tables (used for self-audits
+    /// where our tables are exactly what is being verified).
+    skip_local: bool,
+    /// Node currently being asked for a step.
+    current: NodeRef,
+    /// Monotone per-lookup attempt counter; stale timeouts are ignored.
+    attempt: u32,
+    hops: u32,
+    failures: u32,
+    /// Nodes that timed out during this lookup; excluded from retries.
+    dead: Vec<NodeId>,
+}
+
+/// A Chord protocol endpoint.
+#[derive(Debug)]
+pub struct Chord {
+    me: NodeRef,
+    cfg: ChordConfig,
+    predecessor: Option<NodeRef>,
+    /// `successors[0]` is the immediate successor; the list extends
+    /// clockwise. Never contains `me`. Empty only before join completes
+    /// (a single-node ring keeps exactly one entry equal to... itself is
+    /// represented by an empty list; see [`Chord::successor`]).
+    successors: Vec<NodeRef>,
+    fingers: Vec<Option<NodeRef>>,
+    next_finger: u32,
+    lookups: HashMap<u64, Lookup>,
+    next_token: u64,
+    stabilize_gen: u64,
+    ping_nonce: u64,
+    /// Ping nonce outstanding against the predecessor, if any.
+    pending_ping: Option<(u64, NodeRef)>,
+    joined: bool,
+    /// Cheap deterministic jitter state (derived from our id), used to
+    /// de-synchronize periodic timers across the ring.
+    jitter_state: u64,
+    /// Created as the deliberate first node of a fresh ring (`create`);
+    /// such a node may legitimately have no successors.
+    standalone: bool,
+    /// `Isolated` already emitted for the current strand episode.
+    reported_isolated: bool,
+}
+
+impl Chord {
+    /// Create the **first** node of a fresh ring. It is immediately joined,
+    /// being its own successor.
+    pub fn create(me: NodeRef, cfg: ChordConfig) -> (Chord, Vec<ChordAction>) {
+        let mut node = Chord::bare(me, cfg);
+        node.joined = true;
+        node.standalone = true;
+        let actions = node.schedule_periodics();
+        (node, actions)
+    }
+
+    /// Create a node that will join an existing ring through `seed`.
+    /// The returned actions start the join lookup for `me.id`.
+    pub fn join(me: NodeRef, seed: NodeRef, cfg: ChordConfig) -> (Chord, Vec<ChordAction>) {
+        let mut node = Chord::bare(me, cfg);
+        let mut actions = node.schedule_periodics();
+        let token = node.alloc_token();
+        node.lookups.insert(
+            token,
+            Lookup {
+                key: me.id,
+                purpose: Purpose::Join,
+                skip_local: false,
+                current: seed,
+                attempt: 0,
+                hops: 0,
+                failures: 0,
+                dead: Vec::new(),
+            },
+        );
+        actions.extend(node.send_step(token));
+        (node, actions)
+    }
+
+    /// Construct an **already-converged** member of a known ring — the
+    /// simulation warm start. The paper's experiments begin with 600
+    /// directory peers already forming the initial D-ring (§6.1); building
+    /// that ring by 600 sequential joins would only measure bootstrap, not
+    /// the protocol under churn. `ring` must be sorted by id and contain
+    /// `me` at `me_idx`.
+    pub fn converged(me_idx: usize, ring: &[NodeRef], cfg: ChordConfig) -> (Chord, Vec<ChordAction>) {
+        assert!(!ring.is_empty());
+        assert!(
+            ring.windows(2).all(|w| w[0].id < w[1].id),
+            "ring must be sorted by id with unique ids"
+        );
+        let me = ring[me_idx];
+        let mut node = Chord::bare(me, cfg);
+        node.joined = true;
+        let n = ring.len();
+        if n == 1 {
+            // A one-member ring is a legitimate singleton, like `create`.
+            node.standalone = true;
+        }
+        if n > 1 {
+            for k in 1..=node.cfg.successor_list_len.min(n - 1) {
+                node.successors.push(ring[(me_idx + k) % n]);
+            }
+            node.predecessor = Some(ring[(me_idx + n - 1) % n]);
+            for i in 0..ChordId::BITS {
+                let start = me.id.finger_start(i);
+                // successor(start): first ring member at or after start.
+                let pos = ring.partition_point(|r| r.id < start) % n;
+                let f = ring[pos];
+                if f.node != me.node {
+                    node.fingers[i as usize] = Some(f);
+                }
+            }
+        }
+        let actions = node.schedule_periodics();
+        (node, actions)
+    }
+
+    fn bare(me: NodeRef, cfg: ChordConfig) -> Chord {
+        assert!(cfg.successor_list_len >= 1);
+        Chord {
+            me,
+            cfg,
+            predecessor: None,
+            successors: Vec::new(),
+            fingers: vec![None; ChordId::BITS as usize],
+            next_finger: 0,
+            lookups: HashMap::new(),
+            next_token: 0,
+            stabilize_gen: 0,
+            ping_nonce: 0,
+            pending_ping: None,
+            joined: false,
+            jitter_state: me.id.0 ^ 0x9e37_79b9_7f4a_7c15,
+            standalone: false,
+            reported_isolated: false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// This node's ring reference.
+    pub fn me(&self) -> NodeRef {
+        self.me
+    }
+
+    /// The immediate successor. A node alone on the ring is its own
+    /// successor.
+    pub fn successor(&self) -> NodeRef {
+        self.successors.first().copied().unwrap_or(self.me)
+    }
+
+    /// The whole successor list (possibly empty for a singleton ring).
+    pub fn successor_list(&self) -> &[NodeRef] {
+        &self.successors
+    }
+
+    /// Current predecessor, if known.
+    pub fn predecessor(&self) -> Option<NodeRef> {
+        self.predecessor
+    }
+
+    /// Whether the join lookup has completed (always true for `create`).
+    pub fn is_joined(&self) -> bool {
+        self.joined
+    }
+
+    /// A joined node that lost its entire successor list is cut off from
+    /// the ring: it can neither route nor answer until re-bootstrapped.
+    pub fn is_stranded(&self) -> bool {
+        self.joined && self.successors.is_empty() && !self.standalone
+    }
+
+    /// Number of lookups in flight.
+    pub fn pending_lookups(&self) -> usize {
+        self.lookups.len()
+    }
+
+    /// True when this node believes `key` belongs to it: `key ∈ (pred, me]`.
+    /// With no predecessor (fresh or singleton ring) the node claims any
+    /// key, which is correct for a singleton and conservatively inclusive
+    /// otherwise.
+    pub fn owns(&self, key: ChordId) -> bool {
+        match self.predecessor {
+            Some(p) => key.in_open_closed(p.id, self.me.id),
+            None => true,
+        }
+    }
+
+    /// Like [`Chord::owns`] but refuses to claim anything while the
+    /// predecessor is unknown. Use for decisions that must not be made on a
+    /// guess (e.g. arbitrating ownership of a vacant D-ring position).
+    pub fn owns_strict(&self, key: ChordId) -> bool {
+        self.predecessor
+            .is_some_and(|p| key.in_open_closed(p.id, self.me.id))
+    }
+
+    // ------------------------------------------------------------------
+    // Host entry points
+    // ------------------------------------------------------------------
+
+    /// Start an external **iterative** lookup for `successor(key)`. The
+    /// returned token correlates with the eventual `LookupDone` /
+    /// `LookupFailed` action.
+    pub fn lookup(&mut self, key: ChordId) -> (u64, Vec<ChordAction>) {
+        let token = self.alloc_token();
+        self.start_lookup(token, key, Purpose::External);
+        let actions = self.resolve_or_step(token);
+        (token, actions)
+    }
+
+    /// Start an external **iterative** lookup that begins at `start` and
+    /// never short-circuits through our own tables. Used for self-audits:
+    /// "does the rest of the ring still resolve this key to me?".
+    pub fn lookup_from(&mut self, key: ChordId, start: NodeRef) -> (u64, Vec<ChordAction>) {
+        let token = self.alloc_token();
+        self.lookups.insert(
+            token,
+            Lookup {
+                key,
+                purpose: Purpose::External,
+                skip_local: true,
+                current: start,
+                attempt: 0,
+                hops: 0,
+                failures: 0,
+                dead: Vec::new(),
+            },
+        );
+        let actions = if start.node == self.me.node {
+            self.finish_lookup(token, self.me)
+        } else {
+            self.send_step(token)
+        };
+        (token, actions)
+    }
+
+    /// Start an external **recursive** lookup: the query is forwarded hop
+    /// by hop and the owner answers us directly. One one-way link per hop
+    /// (vs. an RTT for iterative) but failures anywhere on the path cost a
+    /// whole-attempt retry through a different first hop.
+    pub fn lookup_recursive(&mut self, key: ChordId) -> (u64, Vec<ChordAction>) {
+        let token = self.alloc_token();
+        self.start_lookup(token, key, Purpose::External);
+        let actions = self.route_or_resolve(token);
+        (token, actions)
+    }
+
+    /// Local resolution or first recursive forward.
+    fn route_or_resolve(&mut self, token: u64) -> Vec<ChordAction> {
+        let Some(lk) = self.lookups.get(&token) else {
+            return Vec::new();
+        };
+        let key = lk.key;
+        if self.is_stranded() {
+            return self.fail_lookup_now(token);
+        }
+        if self.owns_strict(key) && self.joined {
+            return self.finish_lookup(token, self.me);
+        }
+        let succ = self.successor();
+        if self.joined && key.in_open_closed(self.me.id, succ.id) {
+            return self.finish_lookup(token, succ);
+        }
+        let first = lk.current;
+        if first.node == self.me.node {
+            if self.standalone {
+                return self.finish_lookup(token, self.me);
+            }
+            return self.fail_lookup_now(token);
+        }
+        let me = self.me;
+        let deadline = self.cfg.recursive_deadline_ms;
+        let lk = self.lookups.get_mut(&token).expect("present");
+        lk.attempt += 1;
+        lk.dead.push(first.node); // exclude this first hop from retries
+        vec![
+            ChordAction::Send {
+                to: first,
+                msg: ChordMsg::Route {
+                    key,
+                    token,
+                    origin: me,
+                    hops: 1,
+                },
+            },
+            ChordAction::SetTimer {
+                delay_ms: deadline,
+                timer: ChordTimer::RouteDeadline {
+                    token,
+                    attempt: lk.attempt,
+                },
+            },
+        ]
+    }
+
+    fn on_route(&mut self, key: ChordId, token: u64, origin: NodeRef, hops: u32) -> Vec<ChordAction> {
+        match self.routing_step(key) {
+            StepResult::Unknown => Vec::new(), // stranded: drop; origin retries
+            StepResult::Owner(owner) => vec![ChordAction::Send {
+                to: origin,
+                msg: ChordMsg::RouteResult { token, owner, hops },
+            }],
+            StepResult::Forward(next) => {
+                if hops >= 64 {
+                    // Routing loop safety valve: answer with our best guess.
+                    return vec![ChordAction::Send {
+                        to: origin,
+                        msg: ChordMsg::RouteResult {
+                            token,
+                            owner: self.successor(),
+                            hops,
+                        },
+                    }];
+                }
+                vec![ChordAction::Send {
+                    to: next,
+                    msg: ChordMsg::Route {
+                        key,
+                        token,
+                        origin,
+                        hops: hops + 1,
+                    },
+                }]
+            }
+        }
+    }
+
+    fn on_route_result(&mut self, token: u64, owner: NodeRef, hops: u32) -> Vec<ChordAction> {
+        let Some(lk) = self.lookups.get_mut(&token) else {
+            return Vec::new(); // late result after deadline-retry success
+        };
+        lk.attempt += 1; // invalidate the outstanding deadline
+        lk.hops = hops;
+        self.note_alive(owner);
+        self.finish_lookup(token, owner)
+    }
+
+    fn on_route_deadline(&mut self, token: u64, attempt: u32) -> Vec<ChordAction> {
+        let Some(lk) = self.lookups.get(&token) else {
+            return Vec::new();
+        };
+        if lk.attempt != attempt {
+            return Vec::new();
+        }
+        if lk.attempt >= self.cfg.max_route_attempts {
+            let lk = self.lookups.remove(&token).expect("present");
+            return match lk.purpose {
+                Purpose::External => vec![ChordAction::LookupFailed { token, key: lk.key }],
+                Purpose::Join => vec![ChordAction::JoinFailed],
+                Purpose::Finger(_) => Vec::new(),
+            };
+        }
+        // Retry through a different first hop; the previous one may be the
+        // dead link (we can't know which hop on the path failed).
+        let key = lk.key;
+        let dead = lk.dead.clone();
+        let first = self.best_local_step(key, &dead);
+        let lk = self.lookups.get_mut(&token).expect("present");
+        lk.current = first;
+        self.route_or_resolve(token)
+    }
+
+    /// Handle a received Chord message.
+    pub fn handle_message(&mut self, from: NodeId, msg: ChordMsg) -> Vec<ChordAction> {
+        match msg {
+            ChordMsg::FindNext { key, token, from } => self.on_find_next(key, token, from),
+            ChordMsg::FindNextReply { token, result } => self.on_step_reply(token, result),
+            ChordMsg::GetNeighbors { gen, from } => self.on_get_neighbors(gen, from),
+            ChordMsg::NeighborsReply {
+                gen,
+                sender,
+                predecessor,
+                successors,
+            } => self.on_neighbors_reply(gen, sender, predecessor, successors),
+            ChordMsg::Notify { candidate } => {
+                self.on_notify(candidate);
+                Vec::new()
+            }
+            ChordMsg::Ping { nonce } => {
+                let to = self.ref_for(from);
+                vec![ChordAction::Send {
+                    to,
+                    msg: ChordMsg::Pong { nonce },
+                }]
+            }
+            ChordMsg::Pong { nonce } => {
+                if self.pending_ping.is_some_and(|(n, _)| n == nonce) {
+                    self.pending_ping = None;
+                }
+                Vec::new()
+            }
+            ChordMsg::Route {
+                key,
+                token,
+                origin,
+                hops,
+            } => self.on_route(key, token, origin, hops),
+            ChordMsg::RouteResult { token, owner, hops } => {
+                self.on_route_result(token, owner, hops)
+            }
+        }
+    }
+
+    /// Handle one of our timers firing.
+    pub fn handle_timer(&mut self, timer: ChordTimer) -> Vec<ChordAction> {
+        match timer {
+            ChordTimer::Stabilize => self.on_stabilize_timer(true),
+            ChordTimer::StabilizeOnce => self.on_stabilize_timer(false),
+            ChordTimer::FixFingers => self.on_fix_fingers_timer(),
+            ChordTimer::CheckPredecessor => self.on_check_predecessor_timer(),
+            ChordTimer::LookupStep { token, attempt } => self.on_step_timeout(token, attempt),
+            ChordTimer::StabilizeDeadline { gen } => self.on_stabilize_timeout(gen),
+            ChordTimer::RouteDeadline { token, attempt } => {
+                self.on_route_deadline(token, attempt)
+            }
+            ChordTimer::PingDeadline { nonce } => {
+                if self.pending_ping.is_some_and(|(n, _)| n == nonce) {
+                    // Predecessor is unresponsive: forget it so a live
+                    // candidate can take the slot via notify.
+                    self.pending_ping = None;
+                    self.predecessor = None;
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    /// Re-assert our ring position: notify our successor immediately (used
+    /// by hosts whose self-audit suggests the neighbourhood forgot us).
+    pub fn reassert(&self) -> Vec<ChordAction> {
+        let succ = self.successor();
+        if succ.node == self.me.node {
+            return Vec::new();
+        }
+        vec![ChordAction::Send {
+            to: succ,
+            msg: ChordMsg::Notify { candidate: self.me },
+        }]
+    }
+
+    /// The host learned out-of-band that `node` failed (e.g. an
+    /// application-level RPC to it timed out). Purge it from our tables.
+    pub fn node_failed(&mut self, node: NodeId) {
+        self.purge(node);
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup engine (iterative)
+    // ------------------------------------------------------------------
+
+    fn start_lookup(&mut self, token: u64, key: ChordId, purpose: Purpose) {
+        let start = self.best_local_step(key, &[]);
+        self.lookups.insert(
+            token,
+            Lookup {
+                key,
+                purpose,
+                skip_local: false,
+                current: start,
+                attempt: 0,
+                hops: 0,
+                failures: 0,
+                dead: Vec::new(),
+            },
+        );
+    }
+
+    /// If we can answer locally, finish; otherwise ask `current` for a step.
+    fn resolve_or_step(&mut self, token: u64) -> Vec<ChordAction> {
+        let Some(lk) = self.lookups.get(&token) else {
+            return Vec::new();
+        };
+        let key = lk.key;
+        if self.is_stranded() {
+            return self.fail_lookup_now(token);
+        }
+        if !lk.skip_local {
+            // Local termination — but only with a *known* predecessor:
+            // claiming keys on a guess sprays state across wrong owners.
+            if self.owns_strict(key) && self.joined {
+                return self.finish_lookup(token, self.me);
+            }
+            let succ = self.successor();
+            if self.joined && key.in_open_closed(self.me.id, succ.id) {
+                return self.finish_lookup(token, succ);
+            }
+        }
+        if lk.current.node == self.me.node {
+            // Our tables point nowhere but ourselves. Only a deliberate
+            // singleton ring may claim the key; anyone else has simply run
+            // out of contacts and must report failure (a join "completing"
+            // here would mint a stranded zombie that still believes it is
+            // part of a ring).
+            if self.standalone {
+                return self.finish_lookup(token, self.me);
+            }
+            return self.fail_lookup_now(token);
+        }
+        self.send_step(token)
+    }
+
+    fn send_step(&mut self, token: u64) -> Vec<ChordAction> {
+        let me = self.me;
+        let timeout = self.cfg.rpc_timeout_ms;
+        let Some(lk) = self.lookups.get_mut(&token) else {
+            return Vec::new();
+        };
+        lk.attempt += 1;
+        vec![
+            ChordAction::Send {
+                to: lk.current,
+                msg: ChordMsg::FindNext {
+                    key: lk.key,
+                    token,
+                    from: me,
+                },
+            },
+            ChordAction::SetTimer {
+                delay_ms: timeout,
+                timer: ChordTimer::LookupStep {
+                    token,
+                    attempt: lk.attempt,
+                },
+            },
+        ]
+    }
+
+    fn on_find_next(&mut self, key: ChordId, token: u64, from: NodeRef) -> Vec<ChordAction> {
+        // NOTE: we must *not* learn the asker into our tables here — a
+        // joining node routes a lookup for its own id before it is part of
+        // the ring, and adopting it as successor would make us answer
+        // "you own your id" back to it, wedging its join. Membership is
+        // learned only from notify/stabilize traffic.
+        let result = self.routing_step(key);
+        vec![ChordAction::Send {
+            to: from,
+            msg: ChordMsg::FindNextReply { token, result },
+        }]
+    }
+
+    /// Compute the answer to "who should I ask next for `key`?".
+    fn routing_step(&mut self, key: ChordId) -> StepResult {
+        if self.is_stranded() || (!self.joined && !self.standalone) {
+            return StepResult::Unknown;
+        }
+        if let Some(p) = self.predecessor {
+            if key.in_open_closed(p.id, self.me.id) {
+                return StepResult::Owner(self.me);
+            }
+        }
+        let succ = self.successor();
+        if key.in_open_closed(self.me.id, succ.id) {
+            return StepResult::Owner(succ);
+        }
+        let next = self.closest_preceding(key);
+        if next.node == self.me.node {
+            // We know nothing strictly closer. Claiming ownership here
+            // would terminate routes at wrong nodes whenever tables are
+            // sparse (fresh joins, post-churn) — instead degrade to the
+            // guaranteed-progress linear walk along the successor.
+            if succ.node != self.me.node {
+                StepResult::Forward(succ)
+            } else {
+                StepResult::Owner(self.me) // singleton ring
+            }
+        } else {
+            StepResult::Forward(next)
+        }
+    }
+
+    fn on_step_reply(&mut self, token: u64, result: StepResult) -> Vec<ChordAction> {
+        let Some(lk) = self.lookups.get_mut(&token) else {
+            return Vec::new(); // late reply for a finished lookup
+        };
+        lk.attempt += 1; // invalidate the outstanding timeout
+        lk.hops += 1;
+        match result {
+            StepResult::Unknown => {
+                // The answerer is stranded: route around it.
+                let current = lk.current;
+                lk.dead.push(current.node);
+                lk.failures += 1;
+                self.reroute(token)
+            }
+            StepResult::Owner(owner) => {
+                self.note_alive(owner);
+                self.finish_lookup(token, owner)
+            }
+            StepResult::Forward(next) => {
+                if lk.dead.contains(&next.node) || next.node == self.me.node {
+                    // The answerer pointed at a node we know is dead (or at
+                    // us); treat as a failed step and re-route.
+                    return self.reroute(token);
+                }
+                lk.current = next;
+                self.note_alive(next);
+                self.send_step(token)
+            }
+        }
+    }
+
+    fn on_step_timeout(&mut self, token: u64, attempt: u32) -> Vec<ChordAction> {
+        let Some(lk) = self.lookups.get_mut(&token) else {
+            return Vec::new();
+        };
+        if lk.attempt != attempt {
+            return Vec::new(); // step already progressed
+        }
+        let failed = lk.current;
+        lk.dead.push(failed.node);
+        lk.failures += 1;
+        self.purge(failed.node);
+        let mut actions = self.isolation_check();
+        actions.extend(self.reroute(token));
+        actions
+    }
+
+    /// Pick a fresh routing start from local tables, avoiding known-dead
+    /// nodes; give up when the failure budget is spent.
+    fn reroute(&mut self, token: u64) -> Vec<ChordAction> {
+        let Some(lk) = self.lookups.get(&token) else {
+            return Vec::new();
+        };
+        if lk.failures > self.cfg.max_lookup_failures {
+            let lk = self.lookups.remove(&token).expect("present");
+            return match lk.purpose {
+                Purpose::External => vec![ChordAction::LookupFailed {
+                    token,
+                    key: lk.key,
+                }],
+                Purpose::Join => vec![ChordAction::JoinFailed],
+                Purpose::Finger(_) => Vec::new(),
+            };
+        }
+        let key = lk.key;
+        let dead = lk.dead.clone();
+        let start = self.best_local_step(key, &dead);
+        let lk = self.lookups.get_mut(&token).expect("present");
+        lk.current = start;
+        self.resolve_or_step(token)
+    }
+
+    /// Abort a lookup immediately (stranded node).
+    fn fail_lookup_now(&mut self, token: u64) -> Vec<ChordAction> {
+        let Some(lk) = self.lookups.remove(&token) else {
+            return Vec::new();
+        };
+        match lk.purpose {
+            Purpose::External => vec![ChordAction::LookupFailed {
+                token,
+                key: lk.key,
+            }],
+            Purpose::Join => vec![ChordAction::JoinFailed],
+            Purpose::Finger(_) => Vec::new(),
+        }
+    }
+
+    fn finish_lookup(&mut self, token: u64, owner: NodeRef) -> Vec<ChordAction> {
+        let Some(lk) = self.lookups.remove(&token) else {
+            return Vec::new();
+        };
+        match lk.purpose {
+            Purpose::External => vec![ChordAction::LookupDone {
+                token,
+                key: lk.key,
+                owner,
+                hops: lk.hops,
+            }],
+            Purpose::Join => {
+                if owner.node != self.me.node && owner.id == self.me.id {
+                    // The position we are joining at is already held by a
+                    // live node: a second node with the same ring id would
+                    // corrupt successor/predecessor maintenance. Abort.
+                    return vec![ChordAction::JoinFailed];
+                }
+                self.joined = true;
+                let mut actions = Vec::new();
+                if owner.node != self.me.node {
+                    self.adopt_successor(owner);
+                    actions.push(ChordAction::Send {
+                        to: owner,
+                        msg: ChordMsg::Notify { candidate: self.me },
+                    });
+                    // Populate the successor list quickly: a fresh node
+                    // with a single successor is one failure away from
+                    // being stranded.
+                    for delay_ms in [1_000, 5_000] {
+                        actions.push(ChordAction::SetTimer {
+                            delay_ms,
+                            timer: ChordTimer::StabilizeOnce,
+                        });
+                    }
+                }
+                actions.push(ChordAction::JoinComplete { successor: owner });
+                actions
+            }
+            Purpose::Finger(i) => {
+                if owner.node != self.me.node {
+                    self.fingers[i as usize] = Some(owner);
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    /// Best next hop toward `key` from local tables only: the closest
+    /// preceding live candidate, else our successor, else ourselves.
+    fn best_local_step(&self, key: ChordId, exclude: &[NodeId]) -> NodeRef {
+        let mut best: Option<NodeRef> = None;
+        let mut best_dist = u64::MAX;
+        for cand in self.known_nodes() {
+            if exclude.contains(&cand.node) || cand.node == self.me.node {
+                continue;
+            }
+            if cand.id.in_open_full(self.me.id, key) {
+                let d = cand.id.distance_to(key);
+                if d < best_dist {
+                    best_dist = d;
+                    best = Some(cand);
+                }
+            }
+        }
+        best.or_else(|| {
+            // Nothing precedes the key: any live contact will do, prefer
+            // the successor.
+            self.successors
+                .iter()
+                .find(|s| !exclude.contains(&s.node))
+                .copied()
+        })
+        .unwrap_or(self.me)
+    }
+
+    /// `closest_preceding_node(key)` over fingers and successor list.
+    fn closest_preceding(&self, key: ChordId) -> NodeRef {
+        let mut best = self.me;
+        let mut best_dist = u64::MAX;
+        for cand in self.known_nodes() {
+            if cand.id.in_open_full(self.me.id, key) {
+                let d = cand.id.distance_to(key);
+                if d < best_dist {
+                    best_dist = d;
+                    best = cand;
+                }
+            }
+        }
+        best
+    }
+
+    /// A node with exactly this ring id among our *actively verified*
+    /// neighbours — the predecessor (liveness-pinged) and the immediate
+    /// successor (probed every stabilization round). Deliberately ignores
+    /// fingers and deep successor-list entries: those can retain corpses
+    /// for a long time, and hosts use this to decide whether a ring
+    /// position is genuinely held.
+    pub fn known_node_with_id(&self, id: ChordId) -> Option<NodeRef> {
+        self.predecessor
+            .into_iter()
+            .chain(self.successors.first().copied())
+            .find(|n| n.id == id)
+    }
+
+    fn known_nodes(&self) -> impl Iterator<Item = NodeRef> + '_ {
+        self.fingers
+            .iter()
+            .flatten()
+            .copied()
+            .chain(self.successors.iter().copied())
+            .chain(self.predecessor)
+    }
+
+    // ------------------------------------------------------------------
+    // Stabilization
+    // ------------------------------------------------------------------
+
+    fn schedule_periodics(&mut self) -> Vec<ChordAction> {
+        let s = self.jittered(self.cfg.stabilize_period_ms);
+        let f = self.jittered(self.cfg.fix_fingers_period_ms);
+        let c = self.jittered(self.cfg.check_predecessor_period_ms);
+        vec![
+            ChordAction::SetTimer {
+                delay_ms: s,
+                timer: ChordTimer::Stabilize,
+            },
+            ChordAction::SetTimer {
+                delay_ms: f,
+                timer: ChordTimer::FixFingers,
+            },
+            ChordAction::SetTimer {
+                delay_ms: c,
+                timer: ChordTimer::CheckPredecessor,
+            },
+        ]
+    }
+
+    fn on_stabilize_timer(&mut self, reschedule: bool) -> Vec<ChordAction> {
+        let mut actions = Vec::new();
+        if reschedule {
+            let delay_ms = self.jittered(self.cfg.stabilize_period_ms);
+            actions.push(ChordAction::SetTimer {
+                delay_ms,
+                timer: ChordTimer::Stabilize,
+            });
+        }
+        let succ = self.successor();
+        if succ.node != self.me.node {
+            self.stabilize_gen += 1;
+            let gen = self.stabilize_gen;
+            actions.push(ChordAction::Send {
+                to: succ,
+                msg: ChordMsg::GetNeighbors { gen, from: self.me },
+            });
+            actions.push(ChordAction::SetTimer {
+                delay_ms: self.cfg.rpc_timeout_ms,
+                timer: ChordTimer::StabilizeDeadline { gen },
+            });
+        }
+        actions
+    }
+
+    fn on_get_neighbors(&mut self, gen: u64, from: NodeRef) -> Vec<ChordAction> {
+        if self.is_stranded() {
+            // Answering would hand out an empty successor list, which the
+            // asker would copy — contracting *its* redundancy and spreading
+            // the damage. Stay silent: the asker times us out and routes
+            // around.
+            return Vec::new();
+        }
+        self.note_alive(from);
+        vec![ChordAction::Send {
+            to: from,
+            msg: ChordMsg::NeighborsReply {
+                gen,
+                sender: self.me,
+                predecessor: self.predecessor,
+                successors: self.successors.clone(),
+            },
+        }]
+    }
+
+    fn on_neighbors_reply(
+        &mut self,
+        gen: u64,
+        sender: NodeRef,
+        predecessor: Option<NodeRef>,
+        successors: Vec<NodeRef>,
+    ) -> Vec<ChordAction> {
+        if gen != self.stabilize_gen {
+            return Vec::new(); // stale round
+        }
+        self.stabilize_gen += 1; // consume: deadline becomes stale
+        // Rectify: if our successor's predecessor sits between us, adopt it.
+        if let Some(p) = predecessor {
+            if p.node != self.me.node && p.id.in_open(self.me.id, sender.id) {
+                self.adopt_successor(p);
+            }
+        }
+        // Refresh the successor list: successor + its list, PLUS our old
+        // entries as backups (deduplicated, clockwise order). Copying the
+        // sender's list verbatim would let one degraded neighbour contract
+        // our redundancy to nothing.
+        let succ = self.successor();
+        if succ.node == sender.node {
+            // Fresh data first: the sender and its own list (it maintains
+            // them actively). Our old entries are appended only as a
+            // last-resort tail — they may be long dead, and sorting them
+            // in between fresh entries would make failure walks step
+            // through corpses.
+            let mut merged: Vec<NodeRef> = vec![sender];
+            let push = |merged: &mut Vec<NodeRef>, cand: NodeRef| {
+                if cand.node != self.me.node
+                    && cand.id != self.me.id
+                    && !merged.iter().any(|m| m.node == cand.node)
+                {
+                    merged.push(cand);
+                }
+            };
+            for cand in successors {
+                push(&mut merged, cand);
+            }
+            for cand in self.successors.clone() {
+                push(&mut merged, cand);
+            }
+            merged.truncate(self.cfg.successor_list_len);
+            self.successors = merged;
+        }
+        let new_succ = self.successor();
+        if new_succ.node != self.me.node {
+            return vec![ChordAction::Send {
+                to: new_succ,
+                msg: ChordMsg::Notify { candidate: self.me },
+            }];
+        }
+        Vec::new()
+    }
+
+    fn on_stabilize_timeout(&mut self, gen: u64) -> Vec<ChordAction> {
+        if gen != self.stabilize_gen {
+            return Vec::new(); // reply arrived in time
+        }
+        // Successor is dead: drop it and immediately stabilize against the
+        // next one in the list.
+        let dead = self.successor();
+        self.purge(dead.node);
+        let succ = self.successor();
+        if succ.node == self.me.node {
+            return self.isolation_check();
+        }
+        self.stabilize_gen += 1;
+        let gen = self.stabilize_gen;
+        vec![
+            ChordAction::Send {
+                to: succ,
+                msg: ChordMsg::GetNeighbors { gen, from: self.me },
+            },
+            ChordAction::SetTimer {
+                delay_ms: self.cfg.rpc_timeout_ms,
+                timer: ChordTimer::StabilizeDeadline { gen },
+            },
+        ]
+    }
+
+    fn on_notify(&mut self, candidate: NodeRef) {
+        if candidate.node == self.me.node || candidate.id == self.me.id {
+            // A same-id candidate is a duplicate holder of our position
+            // (it will demote itself); adopting it would wedge the ring.
+            return;
+        }
+        let adopt = match self.predecessor {
+            None => true,
+            Some(p) => candidate.id.in_open(p.id, self.me.id),
+        };
+        if adopt {
+            self.predecessor = Some(candidate);
+        }
+        // A notifying node is also a fine successor candidate on a sparse
+        // ring (fresh singleton that others join onto).
+        if self.successors.is_empty() {
+            self.successors.push(candidate);
+        }
+    }
+
+    fn on_fix_fingers_timer(&mut self) -> Vec<ChordAction> {
+        let delay_ms = self.jittered(self.cfg.fix_fingers_period_ms);
+        let mut actions = vec![ChordAction::SetTimer {
+            delay_ms,
+            timer: ChordTimer::FixFingers,
+        }];
+        if !self.joined || self.successor().node == self.me.node {
+            return actions;
+        }
+        // Repair a batch of fingers per firing (round-robin); most resolve
+        // locally on small rings, so the message cost stays modest while
+        // the sweep completes well inside one mean peer lifetime.
+        for _ in 0..self.cfg.fingers_per_round.max(1) {
+            let i = self.next_finger;
+            self.next_finger = (self.next_finger + 1) % ChordId::BITS;
+            let start = self.me.id.finger_start(i);
+            let token = self.alloc_token();
+            self.start_lookup(token, start, Purpose::Finger(i));
+            actions.extend(self.resolve_or_step(token));
+        }
+        actions
+    }
+
+    fn on_check_predecessor_timer(&mut self) -> Vec<ChordAction> {
+        let delay_ms = self.jittered(self.cfg.check_predecessor_period_ms);
+        let mut actions = vec![ChordAction::SetTimer {
+            delay_ms,
+            timer: ChordTimer::CheckPredecessor,
+        }];
+        if let Some(p) = self.predecessor {
+            self.ping_nonce += 1;
+            let nonce = self.ping_nonce;
+            self.pending_ping = Some((nonce, p));
+            actions.push(ChordAction::Send {
+                to: p,
+                msg: ChordMsg::Ping { nonce },
+            });
+            actions.push(ChordAction::SetTimer {
+                delay_ms: self.cfg.rpc_timeout_ms,
+                timer: ChordTimer::PingDeadline { nonce },
+            });
+        }
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // Table maintenance helpers
+    // ------------------------------------------------------------------
+
+    /// Insert a heard-of node into the finger table where it improves
+    /// routing. Deliberately does NOT touch the successor list: much of
+    /// what reaches this function is *reported* second-hand (lookup owners,
+    /// forward targets) and may be stale or dead — successor pointers are
+    /// the ring's correctness backbone and are maintained exclusively by
+    /// the stabilize/notify protocol, as in the original Chord.
+    fn note_alive(&mut self, n: NodeRef) {
+        if n.node == self.me.node || n.id == self.me.id {
+            return;
+        }
+        // Opportunistic finger repair from every node heard: fill empty
+        // slots, and replace entries with a candidate strictly closer to
+        // the finger start (i.e. a better approximation of
+        // successor(start)).
+        for i in 0..ChordId::BITS {
+            let idx = i as usize;
+            let start = self.me.id.finger_start(i);
+            if !start.in_open_closed(self.me.id, n.id) {
+                continue; // n does not cover this finger interval
+            }
+            let better = match self.fingers[idx] {
+                None => true,
+                Some(cur) => start.distance_to(n.id) < start.distance_to(cur.id),
+            };
+            if better {
+                self.fingers[idx] = Some(n);
+            }
+        }
+    }
+
+    fn adopt_successor(&mut self, n: NodeRef) {
+        if n.node == self.me.node || n.id == self.me.id {
+            return;
+        }
+        self.successors.retain(|s| s.node != n.node);
+        // Insert keeping clockwise order from me.
+        let pos = self
+            .successors
+            .iter()
+            .position(|s| self.me.id.distance_to(n.id) < self.me.id.distance_to(s.id))
+            .unwrap_or(self.successors.len());
+        self.successors.insert(pos, n);
+        self.successors.truncate(self.cfg.successor_list_len);
+    }
+
+    /// Remove a failed node from every table. Callers that can emit
+    /// actions should follow up with [`Chord::isolation_check`].
+    fn purge(&mut self, node: NodeId) {
+        self.successors.retain(|s| s.node != node);
+        for f in &mut self.fingers {
+            if f.is_some_and(|n| n.node == node) {
+                *f = None;
+            }
+        }
+        if self.predecessor.is_some_and(|p| p.node == node) {
+            self.predecessor = None;
+        }
+        if self.pending_ping.is_some_and(|(_, p)| p.node == node) {
+            self.pending_ping = None;
+        }
+    }
+
+    /// Emit `Isolated` once per strand episode so the host can
+    /// re-bootstrap or retire this ring role.
+    fn isolation_check(&mut self) -> Vec<ChordAction> {
+        if self.is_stranded() && !self.reported_isolated {
+            self.reported_isolated = true;
+            vec![ChordAction::Isolated]
+        } else {
+            if !self.is_stranded() {
+                self.reported_isolated = false;
+            }
+            Vec::new()
+        }
+    }
+
+    /// A period with ±25% deterministic jitter, preventing ring-wide
+    /// lockstep maintenance rounds.
+    fn jittered(&mut self, period_ms: u64) -> u64 {
+        self.jitter_state = self
+            .jitter_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let spread = period_ms / 2; // ±25%
+        if spread == 0 {
+            return period_ms.max(1);
+        }
+        period_ms - spread / 2 + (self.jitter_state >> 33) % spread
+    }
+
+    fn alloc_token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    /// Best-effort `NodeRef` for a bare `NodeId` (used when answering pings,
+    /// where only the address matters; the id field is reconstructed from
+    /// our tables when known, else zero).
+    fn ref_for(&self, node: NodeId) -> NodeRef {
+        self.known_nodes()
+            .find(|n| n.node == node)
+            .unwrap_or(NodeRef::new(node, ChordId(0)))
+    }
+}

@@ -1,0 +1,132 @@
+//! The bootstrap service.
+//!
+//! Every P2P deployment needs an out-of-band way for fresh peers to find a
+//! first live contact; the paper assumes clients can "submit a query to
+//! D-ring" without describing the entry point. We model the natural choice:
+//! the supported websites run a tiny rendezvous service listing some live
+//! overlay members (for Flower-CDN: directory peers; for Squirrel: any
+//! peers). Members self-register when they join; the experiment engine
+//! removes entries on failure, modelling the rendezvous service's own
+//! liveness checking. Peers still tolerate stale entries — picks are
+//! retried through alternatives on timeout.
+//!
+//! Being engine-level shared state (`Rc<RefCell<…>>`), it deliberately sits
+//! outside the simulated network: rendezvous traffic is not part of any
+//! metric the paper measures.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use chord::NodeRef;
+use rand::Rng;
+use simnet::NodeId;
+
+/// Registry of live overlay entry points.
+#[derive(Debug, Default)]
+pub struct Bootstrap {
+    members: Vec<NodeRef>,
+}
+
+/// Shared handle used by peers and the engine.
+pub type SharedBootstrap = Rc<RefCell<Bootstrap>>;
+
+impl Bootstrap {
+    pub fn new() -> Bootstrap {
+        Bootstrap::default()
+    }
+
+    /// Create a shared, empty registry.
+    pub fn shared() -> SharedBootstrap {
+        Rc::new(RefCell::new(Bootstrap::new()))
+    }
+
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Register a member (idempotent).
+    pub fn add(&mut self, r: NodeRef) {
+        if !self.members.iter().any(|m| m.node == r.node) {
+            self.members.push(r);
+        }
+    }
+
+    /// Deregister a member by address.
+    pub fn remove(&mut self, node: NodeId) {
+        self.members.retain(|m| m.node != node);
+    }
+
+    /// A uniformly random member not in `exclude` (peers exclude entries
+    /// they already found unresponsive).
+    pub fn pick(&self, rng: &mut impl Rng, exclude: &[NodeId]) -> Option<NodeRef> {
+        let candidates: Vec<&NodeRef> = self
+            .members
+            .iter()
+            .filter(|m| !exclude.contains(&m.node))
+            .collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(*candidates[rng.gen_range(0..candidates.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chord::ChordId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn r(i: usize) -> NodeRef {
+        NodeRef::new(NodeId::from_index(i), ChordId(i as u64 * 1000))
+    }
+
+    #[test]
+    fn add_is_idempotent_and_remove_works() {
+        let mut b = Bootstrap::new();
+        b.add(r(1));
+        b.add(r(1));
+        b.add(r(2));
+        assert_eq!(b.len(), 2);
+        b.remove(NodeId::from_index(1));
+        assert_eq!(b.len(), 1);
+        b.remove(NodeId::from_index(1));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn pick_respects_exclusions() {
+        let mut b = Bootstrap::new();
+        b.add(r(1));
+        b.add(r(2));
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let p = b.pick(&mut rng, &[NodeId::from_index(1)]).unwrap();
+            assert_eq!(p.node, NodeId::from_index(2));
+        }
+        assert!(b
+            .pick(&mut rng, &[NodeId::from_index(1), NodeId::from_index(2)])
+            .is_none());
+        assert!(Bootstrap::new().pick(&mut rng, &[]).is_none());
+    }
+
+    #[test]
+    fn picks_cover_all_members() {
+        let mut b = Bootstrap::new();
+        for i in 0..5 {
+            b.add(r(i));
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(b.pick(&mut rng, &[]).unwrap().node);
+        }
+        assert_eq!(seen.len(), 5);
+    }
+}

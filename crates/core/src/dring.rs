@@ -1,0 +1,243 @@
+//! D-ring's key-management service (§3.2, §4).
+//!
+//! "We assign each directory peer d(ws,loc) a specific peer ID, based on ws
+//! and loc (one D-ring ID associated to each couple (ws, loc)). As a
+//! result, directory peers for the same website have successive peer IDs
+//! and are neighbors on D-ring." PetalUp-CDN extends each couple to up to
+//! 2^m instances with successive IDs (§4).
+//!
+//! We realize this with a structured 64-bit layout:
+//!
+//! ```text
+//!   63            30 29        20 19         0
+//!  +----------------+------------+------------+
+//!  | hash34(website)| locality10 | instance20 |
+//!  +----------------+------------+------------+
+//! ```
+//!
+//! * all instances of `d(ws, loc)` are consecutive ids (instance in the low
+//!   bits) — a PetalUp scan is a walk along ring successors;
+//! * all localities of one website are adjacent blocks — directories of the
+//!   same website are ring neighbours, enabling the paper's cross-locality
+//!   collaboration;
+//! * the website hash spreads the 100 websites uniformly over the ring so
+//!   D-ring load balances.
+
+use bloom::hash::hash_u64;
+use chord::ChordId;
+use simnet::LocalityId;
+use workload::WebsiteId;
+
+const LOC_BITS: u32 = 10;
+const INST_BITS: u32 = 20;
+const LOC_SHIFT: u32 = INST_BITS;
+const WS_SHIFT: u32 = INST_BITS + LOC_BITS;
+
+/// Maximum directory instances per (website, locality) — the paper's 2^m.
+pub const MAX_INSTANCES: u32 = 1 << INST_BITS;
+
+/// Maximum localities representable in the layout.
+pub const MAX_LOCALITIES: u16 = 1 << LOC_BITS;
+
+/// A directory-peer position on D-ring: the couple (website, locality) plus
+/// the PetalUp instance number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DirPosition {
+    pub website: WebsiteId,
+    pub locality: LocalityId,
+    pub instance: u32,
+}
+
+impl DirPosition {
+    pub fn new(website: WebsiteId, locality: LocalityId, instance: u32) -> DirPosition {
+        assert!(instance < MAX_INSTANCES, "instance out of range");
+        assert!(locality.0 < MAX_LOCALITIES, "locality out of range");
+        DirPosition {
+            website,
+            locality,
+            instance,
+        }
+    }
+
+    /// Instance 0 for a couple — where every query for (ws, loc) is keyed.
+    pub fn base(website: WebsiteId, locality: LocalityId) -> DirPosition {
+        DirPosition::new(website, locality, 0)
+    }
+
+    /// The D-ring id of this position.
+    pub fn chord_id(&self) -> ChordId {
+        let ws_part = website_block(self.website) << WS_SHIFT;
+        let loc_part = u64::from(self.locality.0) << LOC_SHIFT;
+        ChordId(ws_part | loc_part | u64::from(self.instance))
+    }
+
+    /// Position of the next PetalUp instance, if representable.
+    pub fn next_instance(&self) -> Option<DirPosition> {
+        if self.instance + 1 >= MAX_INSTANCES {
+            return None;
+        }
+        Some(DirPosition::new(
+            self.website,
+            self.locality,
+            self.instance + 1,
+        ))
+    }
+
+    /// Whether `id` is some instance of this position's (website, locality)
+    /// couple.
+    pub fn same_couple(&self, id: ChordId) -> bool {
+        id.0 >> LOC_SHIFT == self.chord_id().0 >> LOC_SHIFT
+    }
+
+    /// Whether `id` belongs to any directory position of this position's
+    /// website (any locality, any instance) — the basis of the paper's
+    /// cross-locality directory collaboration (§3.2), enabled by the key
+    /// layout making all of a website's directories ring-adjacent.
+    pub fn same_website(&self, id: ChordId) -> bool {
+        id.0 >> WS_SHIFT == self.chord_id().0 >> WS_SHIFT
+    }
+
+    /// Decode the instance number of any id in this couple's block.
+    pub fn instance_of(id: ChordId) -> u32 {
+        (id.0 & (u64::from(MAX_INSTANCES) - 1)) as u32
+    }
+}
+
+/// The 34-bit website block, derived by hashing so websites spread evenly
+/// around the ring regardless of their numeric ids.
+fn website_block(ws: WebsiteId) -> u64 {
+    hash_u64(u64::from(ws.0), 0xD01C_E55A) >> (64 - 34)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos(ws: u16, loc: u16, inst: u32) -> DirPosition {
+        DirPosition::new(WebsiteId(ws), LocalityId(loc), inst)
+    }
+
+    #[test]
+    fn instances_have_successive_ids() {
+        let p0 = pos(7, 3, 0);
+        let p1 = pos(7, 3, 1);
+        let p2 = pos(7, 3, 2);
+        assert_eq!(p1.chord_id().0, p0.chord_id().0 + 1);
+        assert_eq!(p2.chord_id().0, p0.chord_id().0 + 2);
+        assert_eq!(p0.next_instance(), Some(p1));
+    }
+
+    #[test]
+    fn localities_of_one_website_are_adjacent_blocks() {
+        // Same website, consecutive localities: ids differ by exactly the
+        // instance-space size, so they are neighbours on the ring with all
+        // instances in between.
+        let a = pos(12, 0, 0).chord_id().0;
+        let b = pos(12, 1, 0).chord_id().0;
+        assert_eq!(b - a, u64::from(MAX_INSTANCES));
+    }
+
+    #[test]
+    fn couples_decode_and_match() {
+        let p = pos(42, 5, 9);
+        assert!(p.same_couple(p.chord_id()));
+        assert!(p.same_couple(pos(42, 5, 0).chord_id()));
+        assert!(!p.same_couple(pos(42, 4, 9).chord_id()));
+        assert!(!p.same_couple(pos(41, 5, 9).chord_id()));
+        assert_eq!(DirPosition::instance_of(p.chord_id()), 9);
+    }
+
+    #[test]
+    fn all_paper_positions_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for ws in 0..100u16 {
+            for loc in 0..6u16 {
+                for inst in [0u32, 1, 2] {
+                    assert!(
+                        seen.insert(pos(ws, loc, inst).chord_id()),
+                        "collision at ws={ws} loc={loc} inst={inst}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn website_blocks_spread_over_the_ring() {
+        // The top quarter and bottom quarter of the ring should both be
+        // populated by the 100 paper websites.
+        let ids: Vec<u64> = (0..100u16)
+            .map(|w| pos(w, 0, 0).chord_id().0)
+            .collect();
+        let lo = ids.iter().filter(|&&x| x < u64::MAX / 4).count();
+        let hi = ids.iter().filter(|&&x| x > u64::MAX / 4 * 3).count();
+        assert!(lo >= 10, "only {lo} websites in the low quarter");
+        assert!(hi >= 10, "only {hi} websites in the high quarter");
+    }
+
+    #[test]
+    #[should_panic(expected = "instance out of range")]
+    fn rejects_overflowing_instance() {
+        let _ = pos(0, 0, MAX_INSTANCES);
+    }
+
+    #[test]
+    fn base_is_instance_zero() {
+        let b = DirPosition::base(WebsiteId(3), LocalityId(2));
+        assert_eq!(b.instance, 0);
+        assert_eq!(DirPosition::instance_of(b.chord_id()), 0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The couple (website, locality) and the instance number survive
+        /// the id encoding for all representable inputs.
+        #[test]
+        fn prop_codec_round_trips(ws: u16, loc in 0u16..MAX_LOCALITIES, inst in 0u32..MAX_INSTANCES) {
+            let p = DirPosition::new(WebsiteId(ws), LocalityId(loc), inst);
+            let id = p.chord_id();
+            prop_assert!(p.same_couple(id));
+            prop_assert!(p.same_website(id));
+            prop_assert_eq!(DirPosition::instance_of(id), inst);
+        }
+
+        /// Instances of one couple are contiguous and ordered.
+        #[test]
+        fn prop_instances_are_contiguous(ws: u16, loc in 0u16..64u16, inst in 0u32..(MAX_INSTANCES - 1)) {
+            let a = DirPosition::new(WebsiteId(ws), LocalityId(loc), inst);
+            let b = a.next_instance().unwrap();
+            prop_assert_eq!(b.chord_id().0, a.chord_id().0 + 1);
+            prop_assert!(a.same_couple(b.chord_id()));
+        }
+
+        /// Different couples of the same website never share ids, and the
+        /// same-website relation is symmetric within a website.
+        #[test]
+        fn prop_couples_disjoint(ws: u16, la in 0u16..64u16, lb in 0u16..64u16, inst in 0u32..1024u32) {
+            prop_assume!(la != lb);
+            let a = DirPosition::new(WebsiteId(ws), LocalityId(la), inst);
+            let b = DirPosition::new(WebsiteId(ws), LocalityId(lb), inst);
+            prop_assert_ne!(a.chord_id(), b.chord_id());
+            prop_assert!(!a.same_couple(b.chord_id()));
+            prop_assert!(a.same_website(b.chord_id()));
+            prop_assert!(b.same_website(a.chord_id()));
+        }
+
+        /// Distinct websites (almost) never collide: with 34 hash bits and
+        /// u16 website ids, collisions would break petal isolation. Check
+        /// pairwise over a window around arbitrary bases.
+        #[test]
+        fn prop_websites_disjoint(base in 0u16..u16::MAX - 16) {
+            let mut seen = std::collections::BTreeSet::new();
+            for w in base..base + 16 {
+                let id = DirPosition::base(WebsiteId(w), LocalityId(0)).chord_id();
+                prop_assert!(seen.insert(id.0 >> 30), "website block collision at {}", w);
+            }
+        }
+    }
+}

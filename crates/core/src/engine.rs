@@ -1,0 +1,418 @@
+//! The Flower-CDN experiment engine: builds the world of §6.1 (topology,
+//! initial D-ring, churn schedule, origin servers), runs it, and collects
+//! the measurement records.
+
+use std::rc::Rc;
+
+use chord::{Chord, NodeRef};
+use cdn_metrics::{QueryRecord, QueryStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::{LocalityId, NodeId, Point, Time, Topology, World};
+use workload::{generate_sessions, Catalog, WebsiteId};
+
+use crate::bootstrap::{Bootstrap, SharedBootstrap};
+use crate::config::SimParams;
+use crate::dring::DirPosition;
+use crate::peer::{FlowerPeer, FlowerReport, PeerCtx};
+
+/// Engine-level control events scheduled into the simulation.
+pub enum Control {
+    /// A fresh peer arrives (churn), interested in `website`, failing after
+    /// `lifetime_ms`.
+    Spawn {
+        website: WebsiteId,
+        lifetime_ms: u64,
+    },
+    /// The session of `node` expires: silent failure (§6.1 — peers never
+    /// leave gracefully in the headline runs).
+    Fail(NodeId),
+}
+
+/// Everything a finished run produced.
+pub struct RunResult {
+    /// Count per low-level protocol event (diagnostics).
+    pub events: std::collections::BTreeMap<crate::peer::ProtocolEvent, u64>,
+    /// One record per completed object query (active websites only).
+    pub records: Vec<QueryRecord>,
+    /// Directory replacements observed (position repairs, §5.2).
+    pub replacements: u64,
+    /// PetalUp splits observed (§4).
+    pub splits: u64,
+    /// Aggregate stats over `records`.
+    pub stats: QueryStats,
+    /// Peak live population seen at sampling points.
+    pub peak_population: usize,
+    /// Total protocol messages delivered over the run — the paper's
+    /// "incurred overhead" axis. Includes everything: maintenance
+    /// (gossip, keepalive, push, DHT stabilization) and query traffic.
+    pub messages_delivered: u64,
+}
+
+impl RunResult {
+    /// Messages delivered per completed query — the cost of the achieved
+    /// hit ratio.
+    pub fn messages_per_query(&self) -> f64 {
+        if self.stats.queries == 0 {
+            0.0
+        } else {
+            self.messages_delivered as f64 / self.stats.queries as f64
+        }
+    }
+}
+
+impl RunResult {
+    fn from_reports(
+        records: Vec<QueryRecord>,
+        replacements: u64,
+        splits: u64,
+        peak: usize,
+        events: std::collections::BTreeMap<crate::peer::ProtocolEvent, u64>,
+        messages_delivered: u64,
+    ) -> Self {
+        let mut stats = QueryStats::default();
+        for r in &records {
+            stats.record(r);
+        }
+        RunResult {
+            events,
+            records,
+            replacements,
+            splits,
+            stats,
+            peak_population: peak,
+            messages_delivered,
+        }
+    }
+}
+
+/// The Flower-CDN simulation.
+pub struct FlowerSim {
+    params: Rc<SimParams>,
+    catalog: Rc<Catalog>,
+    bootstrap: SharedBootstrap,
+    world: World<FlowerPeer, Control>,
+    /// Per-website origin server coordinates.
+    origins: Vec<Point>,
+    engine_rng: StdRng,
+}
+
+impl FlowerSim {
+    /// Build the t=0 state: topology, origin servers, the initial D-ring of
+    /// one directory peer per (website, locality), and the churn schedule.
+    pub fn new(params: SimParams) -> FlowerSim {
+        let params = Rc::new(params);
+        let catalog = Rc::new(Catalog::new(params.catalog.clone()));
+        let mut engine_rng = StdRng::seed_from_u64(params.seed ^ 0xE61E);
+        let topology = Topology::new(params.topology.clone(), &mut engine_rng);
+        let origins: Vec<Point> = (0..params.catalog.websites)
+            .map(|_| {
+                Point::new(
+                    engine_rng.gen_range(0.0..params.topology.world_size),
+                    engine_rng.gen_range(0.0..params.topology.world_size),
+                )
+            })
+            .collect();
+        let bootstrap = Bootstrap::shared();
+        let world: World<FlowerPeer, Control> = World::new(topology, params.seed);
+
+        let mut sim = FlowerSim {
+            params: Rc::clone(&params),
+            catalog,
+            bootstrap,
+            world,
+            origins,
+            engine_rng,
+        };
+        sim.build_initial_dring();
+        sim.schedule_churn();
+        sim
+    }
+
+    /// "We start with a population of k×|W| = 600 directory peers … which
+    /// form the initial D-ring (one directory peer per couple)."
+    fn build_initial_dring(&mut self) {
+        let k = self.params.topology.localities;
+        let websites = self.params.catalog.websites;
+        // Assign node ids in spawn order and collect the ring first.
+        let mut members: Vec<(WebsiteId, LocalityId, NodeRef)> = Vec::new();
+        let mut next_index = self.world.next_id().index();
+        for ws in 0..websites {
+            for loc in 0..k {
+                let position = DirPosition::base(WebsiteId(ws), LocalityId(loc));
+                members.push((
+                    WebsiteId(ws),
+                    LocalityId(loc),
+                    NodeRef::new(NodeId::from_index(next_index), position.chord_id()),
+                ));
+                next_index += 1;
+            }
+        }
+        let mut ring: Vec<NodeRef> = members.iter().map(|&(_, _, r)| r).collect();
+        ring.sort_by_key(|r| r.id.0);
+        for (ws, loc, me_ref) in members {
+            let ring_idx = ring
+                .binary_search_by_key(&me_ref.id.0, |r| r.id.0)
+                .expect("member in ring");
+            let (chord, actions) =
+                Chord::converged(ring_idx, &ring, self.params.chord.clone());
+            let position = DirPosition::base(ws, loc);
+            let at = self
+                .world
+                .topology()
+                .sample_point_in(loc, &mut self.engine_rng);
+            let pcx = self.peer_ctx(ws, at);
+            let spawned = self.world.spawn(at, |me, locality| {
+                debug_assert_eq!(me, me_ref.node);
+                FlowerPeer::new_initial_directory(pcx, me, locality, position, chord, actions)
+            });
+            debug_assert_eq!(spawned, me_ref.node);
+            self.bootstrap.borrow_mut().add(me_ref);
+        }
+    }
+
+    /// Schedule the full churn: lifetimes for the initial directories, and
+    /// Poisson arrivals (each a future `Spawn`) for the rest of the run.
+    fn schedule_churn(&mut self) {
+        let churn = self.params.churn();
+        let initial = self.params.initial_directories();
+        let sessions = generate_sessions(&churn, initial, &mut self.engine_rng);
+        for (i, s) in sessions.iter().enumerate() {
+            if i < initial {
+                // Already spawned; only their failure is scheduled.
+                self.world.schedule_control(
+                    Time::from_millis(s.departure_ms()),
+                    Control::Fail(NodeId::from_index(i)),
+                );
+            } else {
+                let website = self.catalog.assign_interest(&mut self.engine_rng);
+                self.world.schedule_control(
+                    Time::from_millis(s.arrival_ms),
+                    Control::Spawn {
+                        website,
+                        lifetime_ms: s.lifetime_ms,
+                    },
+                );
+            }
+        }
+    }
+
+    fn peer_ctx(&self, website: WebsiteId, at: Point) -> PeerCtx {
+        let origin = self.origins[website.0 as usize];
+        let origin_latency_ms = self.world.topology().latency_between(at, origin);
+        PeerCtx {
+            catalog: Rc::clone(&self.catalog),
+            params: Rc::clone(&self.params),
+            bootstrap: Rc::clone(&self.bootstrap),
+            website,
+            origin_latency_ms,
+        }
+    }
+
+    /// Run to the configured horizon and collect results.
+    pub fn run(mut self) -> RunResult {
+        let horizon = Time::from_millis(self.params.horizon_ms);
+        self.run_until(horizon);
+        self.finish()
+    }
+
+    /// Run to an intermediate point (tests and time-sliced experiments).
+    pub fn run_until(&mut self, t: Time) {
+        let catalog = Rc::clone(&self.catalog);
+        let params = Rc::clone(&self.params);
+        let bootstrap = Rc::clone(&self.bootstrap);
+        let origins = self.origins.clone();
+        // engine_rng is used inside the control handler: split it out.
+        let mut rng = self.engine_rng.clone();
+        self.world.run(t, |world, control| match control {
+            Control::Spawn {
+                website,
+                lifetime_ms,
+            } => {
+                let at = world.topology().sample_point(&mut rng);
+                let origin = origins[website.0 as usize];
+                let origin_latency_ms = world.topology().latency_between(at, origin);
+                let pcx = PeerCtx {
+                    catalog: Rc::clone(&catalog),
+                    params: Rc::clone(&params),
+                    bootstrap: Rc::clone(&bootstrap),
+                    website,
+                    origin_latency_ms,
+                };
+                let id = world.spawn(at, |me, locality| {
+                    FlowerPeer::new_client(pcx, me, locality)
+                });
+                let fail_at = world.now() + lifetime_ms;
+                world.schedule_control(fail_at, Control::Fail(id));
+            }
+            Control::Fail(id) => {
+                world.fail(id);
+                // The rendezvous service health-checks its entries.
+                bootstrap.borrow_mut().remove(id);
+            }
+        });
+        self.engine_rng = rng;
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.world.now()
+    }
+
+    /// Live peers right now.
+    pub fn live_population(&self) -> usize {
+        self.world.live_count()
+    }
+
+    /// Live directory peers right now.
+    pub fn directory_count(&self) -> usize {
+        self.world
+            .live_nodes()
+            .filter(|(_, p)| p.is_directory())
+            .count()
+    }
+
+    /// Petal size distribution: (position → content peers managed), over
+    /// live directories.
+    pub fn directory_loads(&self) -> Vec<(DirPosition, usize)> {
+        self.world
+            .live_nodes()
+            .filter_map(|(_, p)| {
+                p.directory_position()
+                    .map(|pos| (pos, p.directory_load().unwrap_or(0)))
+            })
+            .collect()
+    }
+
+    /// Access the world (tests and ad-hoc inspection).
+    pub fn world(&self) -> &World<FlowerPeer, Control> {
+        &self.world
+    }
+
+    /// Manually spawn a client peer interested in `website`, placed in
+    /// `locality`, with no scheduled failure — protocol tests drive churn
+    /// themselves. Returns its id.
+    pub fn spawn_client(&mut self, website: WebsiteId, locality: LocalityId) -> NodeId {
+        let at = self
+            .world
+            .topology()
+            .sample_point_in(locality, &mut self.engine_rng);
+        let pcx = self.peer_ctx(website, at);
+        self.world
+            .spawn(at, |me, loc| FlowerPeer::new_client(pcx, me, loc))
+    }
+
+    /// Failure injection: silently kill a specific peer right now (tests).
+    pub fn fail_peer(&mut self, id: NodeId) {
+        self.world.fail(id);
+        self.bootstrap.borrow_mut().remove(id);
+    }
+
+    /// Graceful departure of a specific peer (exercises the §5.2.2
+    /// hand-over path, which the paper's fail-only churn never runs).
+    pub fn leave_peer(&mut self, id: NodeId) {
+        self.world.leave(id);
+        self.bootstrap.borrow_mut().remove(id);
+    }
+
+    /// Live directory peers with their positions and loads.
+    pub fn directories(&self) -> Vec<(NodeId, DirPosition, usize)> {
+        self.world
+            .live_nodes()
+            .filter_map(|(id, p)| {
+                p.directory_position()
+                    .map(|pos| (id, pos, p.directory_load().unwrap_or(0)))
+            })
+            .collect()
+    }
+
+    /// Live content peers of a given petal (website, locality).
+    pub fn petal_members(&self, position: DirPosition) -> Vec<NodeId> {
+        self.world
+            .live_nodes()
+            .filter(|(_, p)| {
+                p.is_content()
+                    && p.website() == position.website
+                    && p.locality() == position.locality
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Drain reports accumulated so far (time-sliced consumers).
+    pub fn drain_reports(&mut self) -> Vec<(Time, NodeId, FlowerReport)> {
+        self.world.drain_reports()
+    }
+
+    /// Consume the simulation and aggregate everything.
+    pub fn finish(mut self) -> RunResult {
+        let peak = self.world.live_count();
+        let messages = self.world.stats().delivered;
+        let mut records = Vec::new();
+        let mut replacements = 0u64;
+        let mut splits = 0u64;
+        let mut events: std::collections::BTreeMap<crate::peer::ProtocolEvent, u64> =
+            std::collections::BTreeMap::new();
+        for (_, _, report) in self.world.drain_reports() {
+            match report {
+                FlowerReport::Query(q) => records.push(q),
+                FlowerReport::BecameDirectory { replacement, .. } => {
+                    if replacement {
+                        replacements += 1;
+                    }
+                }
+                FlowerReport::PetalSplit { .. } => splits += 1,
+                FlowerReport::Event(e) => *events.entry(e).or_default() += 1,
+            }
+        }
+        RunResult::from_reports(records, replacements, splits, peak, events, messages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_hits_and_keeps_population() {
+        let mut params = SimParams::quick(150, 2 * 3_600_000);
+        params.seed = 42;
+        let mut sim = FlowerSim::new(params);
+        assert_eq!(sim.live_population(), 10 * 6, "initial D-ring size");
+        sim.run_until(Time::from_millis(2 * 3_600_000));
+        let pop = sim.live_population();
+        assert!(
+            (75..=260).contains(&pop),
+            "population {pop} should hover near 150"
+        );
+        assert!(sim.directory_count() > 0, "directories survive churn");
+        let result = sim.finish();
+        assert!(
+            result.records.len() > 200,
+            "expected a meaningful query stream, got {}",
+            result.records.len()
+        );
+        assert!(
+            result.stats.hit_ratio() > 0.05,
+            "hit ratio {} should be non-trivial",
+            result.stats.hit_ratio()
+        );
+        assert!(result.stats.mean_lookup_ms() > 0.0);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_runs() {
+        let run = |seed: u64| {
+            let mut params = SimParams::quick(80, 3_600_000);
+            params.seed = seed;
+            let r = FlowerSim::new(params).run();
+            (
+                r.records.len(),
+                r.stats.hits,
+                r.stats.queries,
+                r.replacements,
+            )
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

@@ -1,0 +1,63 @@
+//! # flower-cdn — Flower-CDN and PetalUp-CDN, with the Squirrel baseline
+//!
+//! Reproduction of the system described in *"Leveraging P2P overlays for
+//! Large-scale and Highly Robust Content Distribution and Search"*
+//! (M. El Dick, VLDB 2009 PhD Workshop), which overviews Flower-CDN
+//! (EDBT 2009), its scalable variant PetalUp-CDN, and their churn
+//! maintenance protocols.
+//!
+//! The crate provides:
+//!
+//! * the **peer state machine** ([`peer::FlowerPeer`]) covering all roles —
+//!   client, petal content peer, D-ring directory peer — with the full
+//!   maintenance suite (gossip + dir-info, keepalive/push, position claims,
+//!   PetalUp splits, graceful hand-over);
+//! * **D-ring key management** ([`dring`]) over the `chord` crate;
+//! * the **Squirrel baseline** ([`squirrel`]) — the decentralized P2P web
+//!   cache of Iyer et al. (PODC 2002) in its directory and home-store
+//!   flavours over a plain Chord of all peers;
+//! * **experiment engines** ([`engine`], [`squirrel`]) driving both systems
+//!   under the paper's §6.1 workload/churn on the `simnet` simulator;
+//! * **experiment drivers** ([`experiments`]) regenerating every figure and
+//!   table of §6.
+//!
+//! ```
+//! use flower_cdn::{FlowerSim, SimParams};
+//!
+//! // A miniature run: 60 peers, 20 simulated minutes, same protocol stack
+//! // as the paper-scale experiments (SimParams::paper_defaults).
+//! let mut params = SimParams::quick(60, 20 * 60_000);
+//! params.seed = 1;
+//! params.catalog.websites = 4;
+//! params.catalog.active_websites = 2;
+//! params.catalog.objects_per_site = 50;
+//! let result = FlowerSim::new(params).run();
+//! assert!(result.stats.queries > 0);
+//! assert!(result.stats.hit_ratio() >= 0.0 && result.stats.hit_ratio() <= 1.0);
+//! ```
+
+pub mod bootstrap;
+pub mod config;
+pub mod directory;
+pub mod engine;
+pub mod experiments;
+pub mod dirinfo;
+pub mod dring;
+pub mod maintenance;
+pub mod msg;
+pub mod peer;
+pub mod query;
+pub mod squirrel;
+pub mod store;
+
+pub use bootstrap::{Bootstrap, SharedBootstrap};
+pub use config::SimParams;
+pub use directory::{DirectoryIndex, DirectorySnapshot};
+pub use engine::{Control, FlowerSim, RunResult};
+pub use experiments::{run_comparison, table2_scalability, ComparisonRun, System, Table2Row};
+pub use dirinfo::DirInfo;
+pub use dring::DirPosition;
+pub use msg::{FlowerMsg, FlowerTimer, RoutePayload, Summary};
+pub use peer::{FlowerPeer, FlowerReport, PeerCtx, Role};
+pub use squirrel::{SquirrelMode, SquirrelSim};
+pub use store::{ContentStore, StorePolicy};

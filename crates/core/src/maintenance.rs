@@ -1,0 +1,650 @@
+//! Maintenance protocols (§5): petal gossip with dir-info dissemination,
+//! keepalive/push traffic to directories, directory failure detection and
+//! replacement via position claims, PetalUp promotion, and directory
+//! housekeeping.
+
+use chord::{Chord, ChordId, NodeRef};
+use rand::Rng;
+use simnet::{Ctx, LocalityId, NodeId};
+use workload::{ObjectId, WebsiteId};
+
+use crate::directory::{DirectoryIndex, DirectorySnapshot};
+use crate::dirinfo::DirInfo;
+use crate::dring::DirPosition;
+use crate::msg::{FlowerMsg, FlowerTimer, Summary};
+use crate::peer::{DirectoryRole, FlowerPeer, FlowerReport, ProtocolEvent, Role};
+
+/// Grants and promotions older than this are considered abandoned.
+const GRANT_TTL_MS: u64 = 60_000;
+
+impl FlowerPeer {
+    // ==================================================================
+    // Petal gossip (§3.1, §5.1)
+    // ==================================================================
+
+    pub(crate) fn on_gossip_timer(&mut self, ctx: &mut Ctx<Self>) {
+        if !matches!(self.role, Role::Content) {
+            return; // directories stop shuffling; clients haven't started
+        }
+        let period = self.pcx.params.gossip_period_ms;
+        let jitter = ctx.rng.gen_range(period * 9 / 10..period * 11 / 10);
+        ctx.set_timer(jitter, FlowerTimer::Gossip);
+        let summary = self.store.summary();
+        if let Some((target, msg, gen)) = self.gossip.start_shuffle(summary, ctx.rng) {
+            ctx.send(
+                target,
+                FlowerMsg::Gossip {
+                    inner: msg,
+                    dir_info: self.dir_info,
+                },
+            );
+            ctx.set_timer(
+                self.pcx.params.rpc_timeout_ms * 2,
+                FlowerTimer::GossipDeadline { gen },
+            );
+        }
+    }
+
+    pub(crate) fn on_gossip(
+        &mut self,
+        ctx: &mut Ctx<Self>,
+        from: NodeId,
+        inner: gossip::GossipMsg<Summary>,
+        dir_info: Option<DirInfo>,
+    ) {
+        if self.is_directory() {
+            // Directory peers no longer take part in shuffles; the sender's
+            // deadline will purge us from its view.
+            return;
+        }
+        self.merge_dir_info(dir_info);
+        match inner {
+            gossip::GossipMsg::ShuffleReq { entries } => {
+                let summary = self.store.summary();
+                let reply = self.gossip.handle_request(from, entries, summary, ctx.rng);
+                ctx.send(
+                    from,
+                    FlowerMsg::Gossip {
+                        inner: reply,
+                        dir_info: self.dir_info,
+                    },
+                );
+            }
+            gossip::GossipMsg::ShuffleReply { entries } => {
+                self.gossip.handle_reply(from, entries);
+            }
+        }
+    }
+
+    /// §5.1 dir-info exchange: same directory position → smaller age wins;
+    /// a petal-mate with fresher knowledge re-points us after replacement.
+    fn merge_dir_info(&mut self, incoming: Option<DirInfo>) {
+        let Some(incoming) = incoming else {
+            return;
+        };
+        match &mut self.dir_info {
+            Some(mine) => {
+                mine.merge(&incoming);
+            }
+            None => {
+                // Adopt only if it is a directory for our own petal.
+                if incoming.position.website == self.pcx.website
+                    && incoming.position.locality == self.locality
+                {
+                    self.dir_info = Some(incoming);
+                }
+            }
+        }
+    }
+
+    // ==================================================================
+    // Keepalive / push (§5.1)
+    // ==================================================================
+
+    pub(crate) fn on_keepalive_timer(&mut self, ctx: &mut Ctx<Self>) {
+        if !matches!(self.role, Role::Content) {
+            return;
+        }
+        let period = self.pcx.params.gossip_period_ms;
+        let jitter = ctx.rng.gen_range(period * 9 / 10..period * 11 / 10);
+        ctx.set_timer(jitter, FlowerTimer::Keepalive);
+        if let Some(di) = &mut self.dir_info {
+            di.bump();
+            let holder = di.holder.node;
+            let seq = self.alloc_seq();
+            self.awaiting_ack = Some(seq);
+            let msg = if self.store.should_push(self.pcx.params.push_threshold) {
+                FlowerMsg::Push {
+                    seq,
+                    objects: self.store.take_push_delta(),
+                    full: false,
+                }
+            } else {
+                FlowerMsg::Keepalive { seq }
+            };
+            ctx.send(holder, msg);
+            ctx.set_timer(
+                self.pcx.params.rpc_timeout_ms * 2,
+                FlowerTimer::DirAckDeadline { seq },
+            );
+        } else {
+            // Detached content peer (lost its directory and every claim so
+            // far failed): try to re-enter the petal through D-ring.
+            self.start_petal_join(ctx);
+        }
+    }
+
+    /// Push outside the keepalive schedule, right after the threshold is
+    /// crossed (§5.1: "whenever the percentage of changes reaches a
+    /// threshold").
+    pub(crate) fn maybe_push(&mut self, ctx: &mut Ctx<Self>) {
+        if !matches!(self.role, Role::Content) {
+            return;
+        }
+        if !self.store.should_push(self.pcx.params.push_threshold) {
+            return;
+        }
+        if self.awaiting_ack.is_some() {
+            return; // one outstanding exchange at a time
+        }
+        let Some(di) = self.dir_info else {
+            return;
+        };
+        let seq = self.alloc_seq();
+        self.awaiting_ack = Some(seq);
+        ctx.send(
+            di.holder.node,
+            FlowerMsg::Push {
+                seq,
+                objects: self.store.take_push_delta(),
+                full: false,
+            },
+        );
+        ctx.set_timer(
+            self.pcx.params.rpc_timeout_ms * 2,
+            FlowerTimer::DirAckDeadline { seq },
+        );
+    }
+
+    /// Directory side: keepalive refreshes liveness.
+    pub(crate) fn on_keepalive(&mut self, ctx: &mut Ctx<Self>, from: NodeId, seq: u64) {
+        let Some(dir) = self.self_dir_info() else {
+            return; // stale dir-info at sender → its ack deadline fires
+        };
+        if let Role::Directory(d) = &mut self.role {
+            d.index.heard_from(from, ctx.now().as_millis());
+            ctx.send(from, FlowerMsg::DirAck { seq, dir });
+        }
+    }
+
+    /// Directory side: push updates the directory-index. A `full` push
+    /// (re-registration after replacement) also implicitly registers.
+    pub(crate) fn on_push(
+        &mut self,
+        ctx: &mut Ctx<Self>,
+        from: NodeId,
+        seq: u64,
+        objects: Vec<ObjectId>,
+        _full: bool,
+    ) {
+        let Some(dir) = self.self_dir_info() else {
+            return;
+        };
+        if let Role::Directory(d) = &mut self.role {
+            d.index.record_objects(from, objects, ctx.now().as_millis());
+            ctx.send(from, FlowerMsg::DirAck { seq, dir });
+        }
+    }
+
+    pub(crate) fn on_dir_ack(&mut self, _ctx: &mut Ctx<Self>, seq: u64, dir: DirInfo) {
+        if self.awaiting_ack == Some(seq) {
+            self.awaiting_ack = None;
+            // The ack names the current holder — adopt it fresh.
+            self.dir_info = Some(DirInfo::fresh(dir.position, dir.holder));
+        }
+    }
+
+    pub(crate) fn on_dir_ack_deadline(&mut self, ctx: &mut Ctx<Self>, seq: u64) {
+        if self.awaiting_ack != Some(seq) {
+            return;
+        }
+        self.awaiting_ack = None;
+        ctx.report(FlowerReport::Event(ProtocolEvent::AckTimeout));
+        self.suspect_directory(ctx);
+    }
+
+    // ==================================================================
+    // Directory failure → position claim (§5.2)
+    // ==================================================================
+
+    /// Our directory looks dead. Start the replacement protocol: route a
+    /// claim on its position; the first petal peer whose claim reaches the
+    /// vacant position's ring owner takes over (§5.2.2).
+    pub(crate) fn suspect_directory(&mut self, ctx: &mut Ctx<Self>) {
+        if self.claim.is_some() || self.is_directory() {
+            return;
+        }
+        let Some(di) = self.dir_info else {
+            return;
+        };
+        self.start_claim(ctx, di.position);
+    }
+
+    pub(crate) fn start_claim(&mut self, ctx: &mut Ctx<Self>, position: DirPosition) {
+        let seq = self.alloc_seq();
+        let attempts = match &self.claim {
+            Some(c) => c.attempts + 1,
+            None => 1,
+        };
+        if attempts > 3 {
+            self.claim = None;
+            return; // give up; the next keepalive cycle may retry
+        }
+        let Some(b) = self.pick_bootstrap(ctx) else {
+            self.claim = None;
+            return;
+        };
+        ctx.report(FlowerReport::Event(ProtocolEvent::ClaimStarted));
+        self.claim = Some(crate::peer::PendingClaim {
+            seq,
+            position,
+            attempts,
+        });
+        ctx.send(
+            b.node,
+            FlowerMsg::DRingRoute {
+                key: position.chord_id(),
+                payload: crate::msg::RoutePayload::Claim {
+                    claimer: self.me,
+                    position,
+                },
+            },
+        );
+        ctx.set_timer(
+            self.pcx.params.rpc_timeout_ms * 10,
+            FlowerTimer::ClaimDeadline { claim_seq: seq },
+        );
+    }
+
+    pub(crate) fn on_claim_deadline(&mut self, ctx: &mut Ctx<Self>, claim_seq: u64) {
+        let Some(c) = &self.claim else {
+            return;
+        };
+        if c.seq != claim_seq {
+            return;
+        }
+        let position = c.position;
+        self.start_claim(ctx, position); // bumps attempts, repicks bootstrap
+    }
+
+    /// Ring-owner side of claims: either we *are* the claimed position
+    /// (deny — it is taken), or we arbitrate the vacant position and grant
+    /// exactly one claimer at a time.
+    pub(crate) fn on_routed_claim(
+        &mut self,
+        ctx: &mut Ctx<Self>,
+        claimer: NodeId,
+        position: DirPosition,
+        hops: u32,
+    ) {
+        let now = ctx.now();
+        let Role::Directory(d) = &mut self.role else {
+            return;
+        };
+        let key = position.chord_id();
+        if d.position.chord_id() == key {
+            // The position is alive and it is us: the claimer is one of our
+            // petal peers that lost track — welcome it back (§5.2.2).
+            let holder = d.chord.me();
+            d.index.register_peer(claimer, now.as_millis());
+            ctx.send(claimer, FlowerMsg::ClaimDenied { position, holder });
+            return;
+        }
+        if let Some(holder) = d.chord.known_node_with_id(key) {
+            // We can see a live-believed holder of the exact position:
+            // deny with it instead of risking a duplicate grant.
+            ctx.send(claimer, FlowerMsg::ClaimDenied { position, holder });
+            return;
+        }
+        if !d.chord.owns_strict(key) {
+            // We are not the ring owner of the claimed position (the claim
+            // was misrouted, e.g. to a same-couple neighbour instance).
+            // Arbitrating here would mint a duplicate holder while the
+            // real one lives — push the claim another routing round
+            // (bounded; the claimer's deadline retries otherwise).
+            if hops < 8 {
+                self.on_dring_route_with_hops(
+                    ctx,
+                    key,
+                    crate::msg::RoutePayload::Claim { claimer, position },
+                    hops + 1,
+                );
+            }
+            return;
+        }
+        match d.grants.get(&key) {
+            Some(&(granted, at))
+                if granted != claimer && now.since(at) < GRANT_TTL_MS =>
+            {
+                let holder = NodeRef::new(granted, key);
+                ctx.send(claimer, FlowerMsg::ClaimDenied { position, holder });
+            }
+            _ => {
+                d.grants.insert(key, (claimer, now));
+                let seed = d.chord.me();
+                ctx.send(claimer, FlowerMsg::ClaimGranted { position, seed });
+            }
+        }
+    }
+
+    /// Vacant-position arbitration when a plain *query* (not a claim)
+    /// reaches us as ring owner: §5.2.2 case 2 — the querying client itself
+    /// becomes the directory if no grant is outstanding.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn arbitrate_client_takeover(
+        &mut self,
+        ctx: &mut Ctx<Self>,
+        key: ChordId,
+        client: NodeId,
+        website: WebsiteId,
+        locality: LocalityId,
+        qid: u64,
+        hops: u32,
+    ) {
+        let now = ctx.now();
+        let position = DirPosition::new(website, locality, DirPosition::instance_of(key));
+        let Role::Directory(d) = &mut self.role else {
+            return;
+        };
+        if let Some(holder) = d.chord.known_node_with_id(key) {
+            // The position is actually held — route the query to its
+            // holder rather than starting a takeover.
+            ctx.send(
+                holder.node,
+                FlowerMsg::Routed {
+                    key,
+                    payload: crate::msg::RoutePayload::ClientRequest {
+                        client,
+                        website,
+                        locality,
+                        object: None,
+                        qid,
+                    },
+                    hops: hops + 1,
+                },
+            );
+            return;
+        }
+        match d.grants.get(&key) {
+            Some(&(granted, at)) if granted != client && now.since(at) < GRANT_TTL_MS => {
+                // Someone is mid-takeover: point the client at them with a
+                // stale age so its keepalive verifies soon.
+                let mut dir = DirInfo::fresh(position, NodeRef::new(granted, key));
+                dir.age = 3;
+                ctx.send(
+                    client,
+                    FlowerMsg::Redirect {
+                        qid,
+                        object: None, // forces origin fetch at the client
+                        provider: None,
+                        dir,
+                        petal_view: Vec::new(),
+                        dht_hops: hops,
+                    },
+                );
+            }
+            _ => {
+                d.grants.insert(key, (client, now));
+                let seed = d.chord.me();
+                ctx.send(client, FlowerMsg::ClaimGranted { position, seed });
+            }
+        }
+    }
+
+    /// We won a position: enter D-ring there (§5.2.2).
+    pub(crate) fn on_claim_granted(
+        &mut self,
+        ctx: &mut Ctx<Self>,
+        position: DirPosition,
+        seed: NodeRef,
+    ) {
+        self.claim = None;
+        if self.is_directory() {
+            return;
+        }
+        self.become_directory(ctx, position, seed, None, true);
+        // If this grant resolved a pending first query (case 2), serve it
+        // from the origin: we are the first participant of this petal.
+        if self
+            .pending
+            .as_ref()
+            .is_some_and(|p| p.phase == crate::peer::QueryPhase::Resolving)
+        {
+            self.start_origin_fetch(ctx, cdn_metrics::ResolvedVia::DhtRoute);
+        }
+    }
+
+    /// Someone else already holds (or won) the position: re-attach to them
+    /// and re-register our content so the rebuilt index learns it (§5.2.2).
+    pub(crate) fn on_claim_denied(
+        &mut self,
+        ctx: &mut Ctx<Self>,
+        position: DirPosition,
+        holder: NodeRef,
+    ) {
+        self.claim = None;
+        if self.is_directory() {
+            return;
+        }
+        self.dir_info = Some(DirInfo::fresh(position, holder));
+        if !self.store.is_empty() && matches!(self.role, Role::Content) {
+            self.store.mark_all_unpushed();
+            let seq = self.alloc_seq();
+            self.awaiting_ack = Some(seq);
+            ctx.send(
+                holder.node,
+                FlowerMsg::Push {
+                    seq,
+                    objects: self.store.take_push_delta(),
+                    full: true,
+                },
+            );
+            ctx.set_timer(
+                self.pcx.params.rpc_timeout_ms * 2,
+                FlowerTimer::DirAckDeadline { seq },
+            );
+        }
+    }
+
+    // ==================================================================
+    // Becoming a directory: claims, promotions, hand-overs
+    // ==================================================================
+
+    /// PetalUp split (§4): choose a managed content peer and promote it to
+    /// the next instance position.
+    pub(crate) fn split_petal(&mut self, ctx: &mut Ctx<Self>, next_pos: DirPosition) {
+        let me = self.me;
+        let now = ctx.now();
+        let Role::Directory(d) = &mut self.role else {
+            return;
+        };
+        if let Some((_, at)) = d.promotion_pending {
+            if now.since(at) < GRANT_TTL_MS {
+                return; // a promotion is already under way
+            }
+        }
+        let candidates: Vec<NodeId> = d.index.peer_ids().filter(|&p| p != me).collect();
+        if candidates.is_empty() {
+            return;
+        }
+        let chosen = candidates[ctx.rng.gen_range(0..candidates.len())];
+        d.promotion_pending = Some((chosen, now));
+        // "The replacing content peer is then removed from the
+        // directory-index of d^i" (§4).
+        d.index.remove_peer(chosen);
+        let seed = d.chord.me();
+        let from = d.position;
+        ctx.send(
+            chosen,
+            FlowerMsg::Promote {
+                position: next_pos,
+                seed,
+                snapshot: None,
+            },
+        );
+        ctx.report(FlowerReport::PetalSplit {
+            from,
+            to: next_pos,
+        });
+    }
+
+    /// A directory chose us: PetalUp promotion (no snapshot — we keep using
+    /// our own gossip view and summaries, §4) or a leaving directory's
+    /// hand-over (with its index snapshot, §5.2.2).
+    pub(crate) fn on_promote(
+        &mut self,
+        ctx: &mut Ctx<Self>,
+        position: DirPosition,
+        seed: NodeRef,
+        snapshot: Option<DirectorySnapshot>,
+    ) {
+        if self.is_directory() {
+            return;
+        }
+        self.become_directory(ctx, position, seed, snapshot, false);
+    }
+
+    /// Switch into the directory role and join D-ring at `position`.
+    pub(crate) fn become_directory(
+        &mut self,
+        ctx: &mut Ctx<Self>,
+        position: DirPosition,
+        seed: NodeRef,
+        snapshot: Option<DirectorySnapshot>,
+        replacement: bool,
+    ) {
+        let me_ref = NodeRef::new(self.me, position.chord_id());
+        let mut index = match &snapshot {
+            Some(s) => DirectoryIndex::from_snapshot(s),
+            None => DirectoryIndex::new(),
+        };
+        // Our own store is petal content too.
+        index.record_objects(self.me, self.store.iter(), ctx.now().as_millis());
+        let (chord, actions) = if seed.node == self.me {
+            // Degenerate case: we were told to seed from ourselves (we are
+            // the only ring member we know) — create a fresh ring position.
+            Chord::create(me_ref, self.pcx.params.chord.clone())
+        } else {
+            Chord::join(me_ref, seed, self.pcx.params.chord.clone())
+        };
+        self.role = Role::Directory(Box::new(DirectoryRole {
+            position,
+            chord,
+            index,
+            route_jobs: std::collections::BTreeMap::new(),
+            grants: std::collections::BTreeMap::new(),
+            promotion_pending: None,
+            self_check_token: None,
+            self_check_misses: 0,
+            replacement,
+        }));
+        self.dir_info = None;
+        self.awaiting_ack = None;
+        self.claim = None;
+        self.apply_chord_actions(ctx, actions);
+        let sweep = self.pcx.params.rpc_timeout_ms * 20;
+        ctx.set_timer(sweep, FlowerTimer::DirSweep);
+    }
+
+    // ==================================================================
+    // Directory housekeeping
+    // ==================================================================
+
+    pub(crate) fn on_dir_sweep(&mut self, ctx: &mut Ctx<Self>) {
+        let now = ctx.now();
+        let ttl = self.pcx.params.gossip_period_ms * 2 + self.pcx.params.rpc_timeout_ms * 4;
+        let sweep = self.pcx.params.rpc_timeout_ms * 20;
+        let Role::Directory(d) = &mut self.role else {
+            return;
+        };
+        ctx.set_timer(sweep, FlowerTimer::DirSweep);
+        d.index.expire(now.as_millis(), ttl);
+        d.grants
+            .retain(|_, &mut (_, at)| now.since(at) < GRANT_TTL_MS);
+        if let Some((_, at)) = d.promotion_pending {
+            if now.since(at) >= GRANT_TTL_MS {
+                d.promotion_pending = None;
+            }
+        }
+    }
+}
+
+impl FlowerPeer {
+    // ==================================================================
+    // Ghost-holder purge: position self-check & demotion
+    // ==================================================================
+
+    /// Periodically verify that the overlay still resolves our position to
+    /// us. A claim granted during a stale-predecessor window can mint a
+    /// *duplicate* holder with our exact ring id; exactly one of us is
+    /// reachable as the position's owner, and the other must stand down or
+    /// the petal's knowledge fragments forever.
+    pub(crate) fn on_position_check(&mut self, ctx: &mut Ctx<Self>) {
+        let Role::Directory(d) = &mut self.role else {
+            return;
+        };
+        if !d.chord.is_joined() || d.self_check_token.is_some() {
+            let delay = 60_000 + ctx.rng.gen_range(0..60_000);
+            ctx.set_timer(delay, crate::msg::FlowerTimer::PositionCheck);
+            return;
+        }
+        let key = d.position.chord_id();
+        // Ask the ring, starting at our successor: our own tables would
+        // vacuously resolve our position to ourselves.
+        let start = d.chord.successor();
+        let (token, actions) = d.chord.lookup_from(key, start);
+        d.self_check_token = Some(token);
+        self.apply_chord_actions(ctx, actions);
+        let delay = 60_000 + ctx.rng.gen_range(0..60_000);
+        ctx.set_timer(delay, crate::msg::FlowerTimer::PositionCheck);
+    }
+
+    /// Outcome of a position self-check. Two consecutive misses demote us.
+    pub(crate) fn position_check_result(&mut self, ctx: &mut Ctx<Self>, reachable: bool) {
+        let Role::Directory(d) = &mut self.role else {
+            return;
+        };
+        if reachable {
+            d.self_check_misses = 0;
+            return;
+        }
+        d.self_check_misses += 1;
+        if d.self_check_misses == 1 {
+            // First miss: the neighbourhood may simply have stale pointers
+            // (our successor's predecessor slot, most often). Re-assert and
+            // give stabilization a round before concluding we are a ghost.
+            let actions = d.chord.reassert();
+            self.apply_chord_actions(ctx, actions);
+            return;
+        }
+        if d.self_check_misses >= 3 {
+            ctx.report(FlowerReport::Event(ProtocolEvent::Demoted));
+            self.demote_to_client(ctx);
+        }
+    }
+
+    /// Stand down from the directory role: leave D-ring bookkeeping behind,
+    /// deregister from the rendezvous service, and re-enter the petal as a
+    /// fresh client (our store is re-announced on arrival).
+    pub(crate) fn demote_to_client(&mut self, ctx: &mut Ctx<Self>) {
+        self.pcx.bootstrap.borrow_mut().remove(self.me);
+        self.role = Role::Client;
+        self.dir_info = None;
+        self.claim = None;
+        self.awaiting_ack = None;
+        self.store.mark_all_unpushed();
+        if self.pending.is_none() {
+            self.start_petal_join(ctx);
+        }
+    }
+}

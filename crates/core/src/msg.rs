@@ -1,0 +1,176 @@
+//! Wire messages and timers of the Flower-CDN / PetalUp-CDN protocol.
+
+use bloom::BloomFilter;
+use chord::{ChordMsg, ChordTimer, NodeRef};
+use gossip::GossipMsg;
+use simnet::{LocalityId, NodeId};
+use workload::{ObjectId, WebsiteId};
+
+use crate::directory::DirectorySnapshot;
+use crate::dirinfo::DirInfo;
+use crate::dring::DirPosition;
+
+/// A peer's content summary as carried in gossip views.
+pub type Summary = BloomFilter;
+
+/// Payloads routed over D-ring (inside [`FlowerMsg::DRingRoute`] /
+/// [`FlowerMsg::Routed`]).
+#[derive(Debug, Clone)]
+pub enum RoutePayload {
+    /// A new client's query (§3.2) — or, with `object = None`, a plain
+    /// petal-join request (peers of non-active websites, §6.1).
+    ClientRequest {
+        client: NodeId,
+        website: WebsiteId,
+        locality: LocalityId,
+        object: Option<ObjectId>,
+        qid: u64,
+    },
+    /// A claim on a (presumed vacant) directory position (§5.2.2). The
+    /// first claim to reach the position's ring owner wins.
+    Claim {
+        claimer: NodeId,
+        position: DirPosition,
+    },
+}
+
+impl RoutePayload {
+    /// The peer awaiting a response to this payload.
+    pub fn requester(&self) -> NodeId {
+        match *self {
+            RoutePayload::ClientRequest { client, .. } => client,
+            RoutePayload::Claim { claimer, .. } => claimer,
+        }
+    }
+}
+
+/// All messages exchanged by Flower-CDN peers.
+#[derive(Debug, Clone)]
+pub enum FlowerMsg {
+    /// D-ring maintenance traffic between directory peers.
+    Chord(ChordMsg),
+    /// A peer without D-ring membership asks a directory peer (its
+    /// bootstrap) to route `payload` to the owner of `key`.
+    DRingRoute {
+        key: chord::ChordId,
+        payload: RoutePayload,
+    },
+    /// Routed payload delivered to the ring owner of `key`.
+    Routed {
+        key: chord::ChordId,
+        payload: RoutePayload,
+        /// DHT hops the routing lookup took (for the lookup-latency metric).
+        hops: u32,
+    },
+    /// The bootstrap could not route (D-ring lookup failed).
+    RouteFailed { req_qid: u64 },
+    /// A directory peer answers a query: where to get the object. Also the
+    /// join ticket into the petal (`dir` + `petal_view`).
+    Redirect {
+        qid: u64,
+        object: Option<ObjectId>,
+        /// `None`: fetch from the origin server (miss).
+        provider: Option<NodeId>,
+        /// The responding directory instance (the client's new dir-info).
+        dir: DirInfo,
+        /// Contacts to seed the client's petal view (§4).
+        petal_view: Vec<(NodeId, Summary)>,
+        /// DHT hops spent reaching this directory (0 for direct asks).
+        dht_hops: u32,
+    },
+    /// A content peer asks its own directory to resolve a query (§5.1
+    /// restricts it to the instance it joined through). `exclude` lists
+    /// providers that already failed the client on this query.
+    DirQuery {
+        qid: u64,
+        object: ObjectId,
+        exclude: Vec<NodeId>,
+    },
+    /// Cross-locality collaboration (§3.2): a directory without a local
+    /// provider walks the query along its same-website ring neighbours;
+    /// whichever sibling can serve (or the last one) answers the client
+    /// directly with the original directory's join ticket.
+    SiblingQuery {
+        client: NodeId,
+        qid: u64,
+        object: ObjectId,
+        dir: DirInfo,
+        petal_view: Vec<(NodeId, Summary)>,
+        exclude: Vec<NodeId>,
+        ttl: u8,
+    },
+    /// A client reports a provider that failed to deliver, so the
+    /// directory can drop the stale pointer.
+    DeadPeerReport { peer: NodeId },
+    /// A content peer evicted objects under a bounded-cache policy and
+    /// retracts them from its directory's index.
+    Retract { objects: Vec<ObjectId> },
+    /// Position claim granted: claimer may join D-ring at the position,
+    /// using `seed` as its Chord bootstrap.
+    ClaimGranted { position: DirPosition, seed: NodeRef },
+    /// Claim denied: the position is already held by `holder`.
+    ClaimDenied { position: DirPosition, holder: NodeRef },
+    /// Object transfer request…
+    Fetch { qid: u64, object: ObjectId },
+    /// …granted (the object travels back)…
+    FetchOk { qid: u64, object: ObjectId },
+    /// …or refused (summary false positive / stale index entry).
+    FetchMiss { qid: u64, object: ObjectId },
+    /// Petal gossip: a Cyclon shuffle half, piggybacking the sender's
+    /// dir-info (§5.1).
+    Gossip {
+        inner: GossipMsg<Summary>,
+        dir_info: Option<DirInfo>,
+    },
+    /// Content peer liveness signal to its directory (§5.1).
+    Keepalive { seq: u64 },
+    /// Content peer content update to its directory: the objects added
+    /// since the last push (§5.1). `full` marks a complete re-registration
+    /// with a replacement directory (§5.2.2).
+    Push {
+        seq: u64,
+        objects: Vec<ObjectId>,
+        full: bool,
+    },
+    /// Directory acknowledgement of keepalive/push; carries the directory's
+    /// identity so dir-info ages reset (and re-point after replacement).
+    DirAck { seq: u64, dir: DirInfo },
+    /// Directory-to-content-peer promotion (§4: PetalUp split) or graceful
+    /// hand-over (§5.2.2: voluntary leave, with a state snapshot).
+    Promote {
+        position: DirPosition,
+        seed: NodeRef,
+        snapshot: Option<DirectorySnapshot>,
+    },
+}
+
+/// Timers of a Flower-CDN peer.
+#[derive(Debug, Clone)]
+pub enum FlowerTimer {
+    /// D-ring maintenance (directory peers only).
+    Chord(ChordTimer),
+    /// Issue the next query (active peers).
+    Query,
+    /// Start the next gossip shuffle (content peers).
+    Gossip,
+    /// Shuffle partner failed to answer.
+    GossipDeadline { gen: u64 },
+    /// Send the next keepalive to the directory; also ages dir-info.
+    Keepalive,
+    /// The directory failed to acknowledge keepalive/push `seq`.
+    DirAckDeadline { seq: u64 },
+    /// A fetch was not answered.
+    FetchDeadline { qid: u64, attempt: u32 },
+    /// A routed request (D-ring query / DirQuery) was not answered.
+    RouteDeadline { qid: u64 },
+    /// The origin-server round trip completed (origin fetches are modelled
+    /// as a latency, not as messages — the origin is not a peer).
+    OriginDone { qid: u64 },
+    /// Periodic directory housekeeping: index expiry, grant expiry.
+    DirSweep,
+    /// A position claim received no verdict.
+    ClaimDeadline { claim_seq: u64 },
+    /// Periodic directory self-check: verify we are still reachable as the
+    /// ring owner of our position; demote otherwise (ghost-holder purge).
+    PositionCheck,
+}

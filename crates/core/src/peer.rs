@@ -1,0 +1,664 @@
+//! The Flower-CDN peer: one state machine covering all three roles a peer
+//! moves through — fresh **client**, petal **content peer**, and D-ring
+//! **directory peer** (§3, §4).
+//!
+//! The query path lives in [`crate::query`]; gossip, keepalive/push, claim
+//! and promotion logic in [`crate::maintenance`]. This module owns the
+//! struct, role bookkeeping, the [`simnet::Node`] dispatch and the D-ring
+//! (Chord) plumbing of directory peers.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use chord::{Chord, ChordAction, ChordId, NodeRef};
+use cdn_metrics::QueryRecord;
+use gossip::{Cyclon, ShuffleMode};
+use rand::Rng;
+use simnet::{Ctx, LocalityId, Node, NodeId, Time};
+use workload::{Catalog, ObjectId, WebsiteId};
+
+use crate::bootstrap::SharedBootstrap;
+use crate::config::SimParams;
+use crate::directory::DirectoryIndex;
+use crate::dirinfo::DirInfo;
+use crate::dring::DirPosition;
+use crate::msg::{FlowerMsg, FlowerTimer, RoutePayload, Summary};
+use crate::store::ContentStore;
+
+/// Immutable per-peer context handed in by the experiment engine.
+#[derive(Clone)]
+pub struct PeerCtx {
+    pub catalog: Rc<Catalog>,
+    pub params: Rc<SimParams>,
+    pub bootstrap: SharedBootstrap,
+    /// The website this peer is interested in, fixed for its lifetime.
+    pub website: WebsiteId,
+    /// One-way latency to this website's origin server, ms.
+    pub origin_latency_ms: u64,
+}
+
+/// Events the engine collects (via `simnet` reports).
+#[derive(Debug, Clone)]
+pub enum FlowerReport {
+    /// A query completed (the paper's three metrics derive from these).
+    Query(QueryRecord),
+    /// This peer entered D-ring at `position`; `replacement` marks §5.2
+    /// repair (vs. initial/bootstrap/promotion occupancy).
+    BecameDirectory {
+        position: DirPosition,
+        replacement: bool,
+    },
+    /// A directory split off a new PetalUp instance (§4).
+    PetalSplit { from: DirPosition, to: DirPosition },
+    /// Low-level protocol event (diagnostics; see [`ProtocolEvent`]).
+    Event(ProtocolEvent),
+}
+
+/// Fine-grained protocol events for diagnosing where queries are lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ProtocolEvent {
+    /// A provider answered `FetchMiss` (stale index / summary false
+    /// positive).
+    FetchMiss,
+    /// A fetch timed out (provider dead).
+    FetchTimeout,
+    /// A directory failed to answer a DirQuery in time.
+    DirQueryTimeout,
+    /// D-ring routing failed or timed out for a client request.
+    RouteFailure,
+    /// A keepalive/push went unacknowledged (directory suspected dead).
+    AckTimeout,
+    /// A position claim was started.
+    ClaimStarted,
+    /// A DirQuery reached a live directory that had no provider.
+    DirNoProvider,
+    /// A content-peer query fell to the origin because no directory was
+    /// known at all.
+    NoDirInfo,
+    /// A directory demoted itself after failed position self-audits.
+    Demoted,
+    /// (Squirrel) a query was answered by a node that is not the strict
+    /// ring owner of the object's key — routing-consistency diagnostic.
+    AnsweredByNonOwner,
+}
+
+/// Directory-role state (D-ring membership).
+pub struct DirectoryRole {
+    pub position: DirPosition,
+    pub chord: Chord,
+    pub index: DirectoryIndex,
+    /// Outstanding D-ring routings performed on behalf of other peers:
+    /// chord lookup token → payload to deliver.
+    pub route_jobs: BTreeMap<u64, RoutePayload>,
+    /// Claim arbitration state (§5.2.2): position id → (granted claimer,
+    /// grant time). Grants expire so a claimer that dies mid-join does not
+    /// wedge the position.
+    pub grants: BTreeMap<ChordId, (NodeId, Time)>,
+    /// PetalUp promotion in flight: (chosen peer, when).
+    pub promotion_pending: Option<(NodeId, Time)>,
+    /// Outstanding position self-check lookup token.
+    pub self_check_token: Option<u64>,
+    /// Consecutive self-checks that did not resolve to us.
+    pub self_check_misses: u8,
+    /// Entered D-ring as a failure replacement (diagnostics).
+    pub replacement: bool,
+}
+
+/// Which hat the peer currently wears.
+pub enum Role {
+    /// Arrived, not yet attached to a petal.
+    Client,
+    /// Petal member: gossips, keepalives, queries locally.
+    Content,
+    /// D-ring member managing (part of) a petal.
+    Directory(Box<DirectoryRole>),
+}
+
+/// Outstanding query state (at most one per peer; the 6-minute query period
+/// dwarfs every latency involved).
+pub struct PendingQuery {
+    pub qid: u64,
+    /// `None` = pure petal-join request (non-active websites).
+    pub object: Option<ObjectId>,
+    pub issued_at: Time,
+    pub via: cdn_metrics::ResolvedVia,
+    pub dht_hops: u32,
+    pub phase: QueryPhase,
+    /// Bootstrap / routing attempts used.
+    pub route_attempts: u32,
+    /// Fetch attempts used.
+    pub fetch_attempts: u32,
+    /// Providers that failed us.
+    pub excluded: Vec<NodeId>,
+    /// Whether the directory has already been consulted.
+    pub asked_dir: bool,
+    /// When the current fetch (or origin round trip) started.
+    pub fetch_sent_at: Time,
+}
+
+/// Phase of the pending query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryPhase {
+    /// Waiting for a Redirect (via D-ring routing or DirQuery).
+    Resolving,
+    /// Fetch outstanding against a provider.
+    Fetching(NodeId),
+    /// Origin-server round trip in progress.
+    Origin,
+}
+
+/// Outstanding position claim (§5.2.2).
+pub struct PendingClaim {
+    pub seq: u64,
+    pub position: DirPosition,
+    pub attempts: u32,
+}
+
+/// The Flower-CDN peer.
+pub struct FlowerPeer {
+    pub(crate) pcx: PeerCtx,
+    pub(crate) me: NodeId,
+    pub(crate) locality: LocalityId,
+    /// Clients of active websites issue queries (§6.1).
+    pub(crate) active: bool,
+    pub(crate) store: ContentStore,
+    pub(crate) gossip: Cyclon<Summary>,
+    pub(crate) dir_info: Option<DirInfo>,
+    pub(crate) role: Role,
+    pub(crate) pending: Option<PendingQuery>,
+    pub(crate) next_qid: u64,
+    pub(crate) ka_seq: u64,
+    pub(crate) awaiting_ack: Option<u64>,
+    pub(crate) claim: Option<PendingClaim>,
+    /// Bootstraps that failed to route for us recently.
+    pub(crate) boot_exclude: Vec<NodeId>,
+    /// Actions produced by the Chord constructor, applied at `on_start`.
+    pub(crate) startup_chord_actions: Vec<ChordAction>,
+    /// Hops already spent by re-routed payloads, keyed by lookup token.
+    pub(crate) route_hops: BTreeMap<u64, u32>,
+}
+
+impl FlowerPeer {
+    /// A fresh client arriving through churn.
+    pub fn new_client(pcx: PeerCtx, me: NodeId, locality: LocalityId) -> FlowerPeer {
+        let active = pcx.catalog.is_active(pcx.website);
+        let params = Rc::clone(&pcx.params);
+        FlowerPeer {
+            pcx,
+            me,
+            locality,
+            active,
+            store: ContentStore::with_policy(params.store_policy),
+            gossip: Cyclon::new(me, ShuffleMode::Union, params.shuffle_len, 0)
+                .with_max_age(params.view_max_age),
+            dir_info: None,
+            role: Role::Client,
+            pending: None,
+            next_qid: 0,
+            ka_seq: 0,
+            awaiting_ack: None,
+            claim: None,
+            boot_exclude: Vec::new(),
+            startup_chord_actions: Vec::new(),
+            route_hops: BTreeMap::new(),
+        }
+    }
+
+    /// One of the initial directory peers forming the t=0 D-ring (§6.1),
+    /// with a pre-converged Chord state built by the engine.
+    pub fn new_initial_directory(
+        pcx: PeerCtx,
+        me: NodeId,
+        locality: LocalityId,
+        position: DirPosition,
+        chord: Chord,
+        startup_chord_actions: Vec<ChordAction>,
+    ) -> FlowerPeer {
+        let mut p = FlowerPeer::new_client(pcx, me, locality);
+        p.role = Role::Directory(Box::new(DirectoryRole {
+            position,
+            chord,
+            index: DirectoryIndex::new(),
+            route_jobs: BTreeMap::new(),
+            grants: BTreeMap::new(),
+            promotion_pending: None,
+            self_check_token: None,
+            self_check_misses: 0,
+            replacement: false,
+        }));
+        p.startup_chord_actions = startup_chord_actions;
+        p
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection (engine, tests)
+    // ------------------------------------------------------------------
+
+    pub fn website(&self) -> WebsiteId {
+        self.pcx.website
+    }
+
+    pub fn locality(&self) -> LocalityId {
+        self.locality
+    }
+
+    pub fn is_directory(&self) -> bool {
+        matches!(self.role, Role::Directory(_))
+    }
+
+    pub fn is_content(&self) -> bool {
+        matches!(self.role, Role::Content)
+    }
+
+    pub fn directory_position(&self) -> Option<DirPosition> {
+        match &self.role {
+            Role::Directory(d) => Some(d.position),
+            _ => None,
+        }
+    }
+
+    /// Content peers this directory manages (its PetalUp load).
+    pub fn directory_load(&self) -> Option<usize> {
+        match &self.role {
+            Role::Directory(d) => Some(d.index.peer_count()),
+            _ => None,
+        }
+    }
+
+    pub fn store_len(&self) -> usize {
+        self.store.len()
+    }
+
+    pub fn view_len(&self) -> usize {
+        self.gossip.view().len()
+    }
+
+    pub fn dir_info(&self) -> Option<&DirInfo> {
+        self.dir_info.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Small shared helpers
+    // ------------------------------------------------------------------
+
+    pub(crate) fn alloc_qid(&mut self) -> u64 {
+        self.next_qid += 1;
+        self.next_qid
+    }
+
+    pub(crate) fn alloc_seq(&mut self) -> u64 {
+        self.ka_seq += 1;
+        self.ka_seq
+    }
+
+    /// DirInfo describing *me* as directory (for acks and redirects).
+    pub(crate) fn self_dir_info(&self) -> Option<DirInfo> {
+        match &self.role {
+            Role::Directory(d) => Some(DirInfo::fresh(d.position, d.chord.me())),
+            _ => None,
+        }
+    }
+
+    /// Pick a bootstrap directory, avoiding recently failed ones (with a
+    /// reset once everything is excluded).
+    pub(crate) fn pick_bootstrap(&mut self, ctx: &mut Ctx<Self>) -> Option<NodeRef> {
+        let reg = self.pcx.bootstrap.borrow();
+        match reg.pick(ctx.rng, &self.boot_exclude) {
+            Some(r) => Some(r),
+            None => {
+                drop(reg);
+                self.boot_exclude.clear();
+                self.pcx.bootstrap.borrow().pick(ctx.rng, &[self.me])
+            }
+        }
+    }
+
+    /// Apply Chord actions to the world; routes lookup completions to the
+    /// D-ring forwarding logic.
+    pub(crate) fn apply_chord_actions(&mut self, ctx: &mut Ctx<Self>, actions: Vec<ChordAction>) {
+        for a in actions {
+            match a {
+                ChordAction::Send { to, msg } => ctx.send(to.node, FlowerMsg::Chord(msg)),
+                ChordAction::SetTimer { delay_ms, timer } => {
+                    ctx.set_timer(delay_ms, FlowerTimer::Chord(timer))
+                }
+                ChordAction::LookupDone {
+                    token,
+                    key,
+                    owner,
+                    hops,
+                } => self.on_route_lookup_done(ctx, token, key, owner, hops),
+                ChordAction::LookupFailed { token, key: _ } => {
+                    self.on_route_lookup_failed(ctx, token)
+                }
+                ChordAction::JoinComplete { .. } => {
+                    if let Role::Directory(d) = &self.role {
+                        let me_ref = d.chord.me();
+                        let position = d.position;
+                        let replacement = d.replacement;
+                        self.pcx.bootstrap.borrow_mut().add(me_ref);
+                        ctx.report(FlowerReport::BecameDirectory {
+                            position,
+                            replacement,
+                        });
+                        let delay = 60_000 + ctx.rng.gen_range(0..60_000);
+                        ctx.set_timer(delay, FlowerTimer::PositionCheck);
+                    }
+                }
+                ChordAction::JoinFailed => self.on_dring_join_failed(ctx),
+                ChordAction::Isolated => {
+                    // Cut off from D-ring: we cannot serve as a directory.
+                    // Stand down; the position will be re-claimed.
+                    self.demote_to_client(ctx);
+                }
+            }
+        }
+    }
+
+    /// Our D-ring join could not complete (seed died): revert to content
+    /// peer; the position stays vacant and a later claim will retry.
+    fn on_dring_join_failed(&mut self, _ctx: &mut Ctx<Self>) {
+        if let Role::Directory(d) = &self.role {
+            if !d.chord.is_joined() {
+                self.role = Role::Content;
+                self.claim = None;
+            }
+        }
+    }
+
+    /// A routing lookup completed: forward the payload to the ring owner
+    /// (or handle it ourselves if we own the key).
+    fn on_route_lookup_done(
+        &mut self,
+        ctx: &mut Ctx<Self>,
+        token: u64,
+        key: ChordId,
+        owner: NodeRef,
+        hops: u32,
+    ) {
+        let Role::Directory(d) = &mut self.role else {
+            return;
+        };
+        if d.self_check_token == Some(token) {
+            d.self_check_token = None;
+            let me = self.me;
+            self.position_check_result(ctx, owner.node == me);
+            return;
+        }
+        let Some(payload) = d.route_jobs.remove(&token) else {
+            return; // internal chord lookup (join / fingers)
+        };
+        let hops = hops + self.route_hops.remove(&token).unwrap_or(0);
+        if owner.node == self.me {
+            self.handle_routed(ctx, key, payload, hops);
+        } else {
+            ctx.send(owner.node, FlowerMsg::Routed { key, payload, hops });
+        }
+    }
+
+    fn on_route_lookup_failed(&mut self, ctx: &mut Ctx<Self>, token: u64) {
+        let Role::Directory(d) = &mut self.role else {
+            return;
+        };
+        if d.self_check_token == Some(token) {
+            d.self_check_token = None;
+            self.position_check_result(ctx, false);
+            return;
+        }
+        let Some(payload) = d.route_jobs.remove(&token) else {
+            return;
+        };
+        if let RoutePayload::ClientRequest { client, qid, .. } = payload {
+            ctx.send(client, FlowerMsg::RouteFailed { req_qid: qid });
+        }
+        // Claims: the claimer's ClaimDeadline will retry.
+    }
+
+    /// Entry point for payloads arriving at their ring owner (me).
+    pub(crate) fn handle_routed(
+        &mut self,
+        ctx: &mut Ctx<Self>,
+        key: ChordId,
+        payload: RoutePayload,
+        hops: u32,
+    ) {
+        if !self.is_directory() {
+            // Stale routing (we died and were resurrected? impossible —
+            // or routed during our own join). Drop; requester retries.
+            return;
+        }
+        // Responsibility check: we must either be a directory of the key's
+        // (website, locality) couple, or the *strict* ring owner of the key
+        // (the arbiter for a vacant position). Anything else is a misroute
+        // through a stale ring view — arbitrating on it would mint duplicate
+        // position holders, so forward it another routing round instead.
+        let responsible = match &self.role {
+            Role::Directory(d) => {
+                d.position.same_couple(key)
+                    || d.position.chord_id() == key
+                    || d.chord.owns_strict(key)
+            }
+            _ => false,
+        };
+        if !responsible {
+            // Bounded re-route budget: a node with an incomplete ring view
+            // (e.g. no predecessor) may resolve the key to itself over and
+            // over — give up after a few rounds and let the requester's
+            // deadline retry through a different bootstrap.
+            if hops < 8 {
+                self.on_dring_route_with_hops(ctx, key, payload, hops + 1);
+            }
+            return;
+        }
+        match payload {
+            RoutePayload::ClientRequest {
+                client,
+                website,
+                locality,
+                object,
+                qid,
+            } => self.on_routed_client_request(
+                ctx, key, client, website, locality, object, qid, hops,
+            ),
+            RoutePayload::Claim { claimer, position } => {
+                self.on_routed_claim(ctx, claimer, position, hops)
+            }
+        }
+    }
+
+    /// A peer asked us (as its bootstrap) to route a payload over D-ring.
+    fn on_dring_route(&mut self, ctx: &mut Ctx<Self>, key: ChordId, payload: RoutePayload) {
+        self.on_dring_route_with_hops(ctx, key, payload, 0);
+    }
+
+    /// Route (or re-route after a misroute) a payload toward `key`'s owner,
+    /// preserving the hop count already spent.
+    pub(crate) fn on_dring_route_with_hops(
+        &mut self,
+        ctx: &mut Ctx<Self>,
+        key: ChordId,
+        payload: RoutePayload,
+        hops: u32,
+    ) {
+        let Role::Directory(d) = &mut self.role else {
+            // We are no directory (stale bootstrap entry): tell the client.
+            if let RoutePayload::ClientRequest { client, qid, .. } = payload {
+                ctx.send(client, FlowerMsg::RouteFailed { req_qid: qid });
+            }
+            return;
+        };
+        let (token, actions) = d.chord.lookup_recursive(key);
+        d.route_jobs.insert(token, payload);
+        if hops > 0 {
+            self.route_hops.insert(token, hops);
+        }
+        self.apply_chord_actions(ctx, actions);
+    }
+}
+
+impl Node for FlowerPeer {
+    type Msg = FlowerMsg;
+    type Timer = FlowerTimer;
+    type Report = FlowerReport;
+
+    fn on_start(&mut self, ctx: &mut Ctx<Self>) {
+        let startup = std::mem::take(&mut self.startup_chord_actions);
+        match &self.role {
+            Role::Directory(_) => {
+                self.apply_chord_actions(ctx, startup);
+                let sweep = self.pcx.params.rpc_timeout_ms * 20;
+                ctx.set_timer(sweep, FlowerTimer::DirSweep);
+                if self.active {
+                    let delay = ctx.rng.gen_range(1_000..30_000);
+                    ctx.set_timer(delay, FlowerTimer::Query);
+                }
+            }
+            _ => {
+                if self.active {
+                    // "submits queries on a regular basis, as soon as it
+                    // arrives" — the first query doubles as the petal join.
+                    let delay = ctx.rng.gen_range(500..5_000);
+                    ctx.set_timer(delay, FlowerTimer::Query);
+                } else {
+                    // Non-active website: join the petal outright (§6.1).
+                    self.start_petal_join(ctx);
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<Self>, from: NodeId, msg: FlowerMsg) {
+        match msg {
+            FlowerMsg::Chord(m) => {
+                if let Role::Directory(d) = &mut self.role {
+                    let actions = d.chord.handle_message(from, m);
+                    self.apply_chord_actions(ctx, actions);
+                }
+            }
+            FlowerMsg::DRingRoute { key, payload } => self.on_dring_route(ctx, key, payload),
+            FlowerMsg::Routed { key, payload, hops } => {
+                self.handle_routed(ctx, key, payload, hops)
+            }
+            FlowerMsg::RouteFailed { req_qid } => self.on_route_failed(ctx, req_qid),
+            FlowerMsg::Redirect {
+                qid,
+                object,
+                provider,
+                dir,
+                petal_view,
+                dht_hops,
+            } => self.on_redirect(ctx, qid, object, provider, dir, petal_view, dht_hops),
+            FlowerMsg::DirQuery {
+                qid,
+                object,
+                exclude,
+            } => self.on_dir_query(ctx, from, qid, object, exclude),
+            FlowerMsg::SiblingQuery {
+                client,
+                qid,
+                object,
+                dir,
+                petal_view,
+                exclude,
+                ttl,
+            } => self.on_sibling_query(ctx, client, qid, object, dir, petal_view, exclude, ttl),
+            FlowerMsg::DeadPeerReport { peer } => {
+                if let Role::Directory(d) = &mut self.role {
+                    d.index.remove_peer(peer);
+                }
+            }
+            FlowerMsg::Retract { objects } => {
+                if let Role::Directory(d) = &mut self.role {
+                    d.index.retract_objects(from, objects);
+                }
+            }
+            FlowerMsg::ClaimGranted { position, seed } => {
+                self.on_claim_granted(ctx, position, seed)
+            }
+            FlowerMsg::ClaimDenied { position, holder } => {
+                self.on_claim_denied(ctx, position, holder)
+            }
+            FlowerMsg::Fetch { qid, object } => {
+                let reply = if self.store.contains(object) {
+                    self.store.touch(object); // keep served objects hot (LRU)
+                    FlowerMsg::FetchOk { qid, object }
+                } else {
+                    FlowerMsg::FetchMiss { qid, object }
+                };
+                ctx.send(from, reply);
+            }
+            FlowerMsg::FetchOk { qid, object } => self.on_fetch_ok(ctx, from, qid, object),
+            FlowerMsg::FetchMiss { qid, .. } => self.on_fetch_failed(ctx, qid, from, false),
+            FlowerMsg::Gossip { inner, dir_info } => {
+                self.on_gossip(ctx, from, inner, dir_info)
+            }
+            FlowerMsg::Keepalive { seq } => self.on_keepalive(ctx, from, seq),
+            FlowerMsg::Push { seq, objects, full } => {
+                self.on_push(ctx, from, seq, objects, full)
+            }
+            FlowerMsg::DirAck { seq, dir } => self.on_dir_ack(ctx, seq, dir),
+            FlowerMsg::Promote {
+                position,
+                seed,
+                snapshot,
+            } => self.on_promote(ctx, position, seed, snapshot),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<Self>, timer: FlowerTimer) {
+        match timer {
+            FlowerTimer::Chord(t) => {
+                if let Role::Directory(d) = &mut self.role {
+                    let actions = d.chord.handle_timer(t);
+                    self.apply_chord_actions(ctx, actions);
+                }
+            }
+            FlowerTimer::Query => self.on_query_timer(ctx),
+            FlowerTimer::Gossip => self.on_gossip_timer(ctx),
+            FlowerTimer::GossipDeadline { gen } => {
+                self.gossip.shuffle_timed_out(gen);
+            }
+            FlowerTimer::Keepalive => self.on_keepalive_timer(ctx),
+            FlowerTimer::DirAckDeadline { seq } => self.on_dir_ack_deadline(ctx, seq),
+            FlowerTimer::FetchDeadline { qid, attempt } => {
+                self.on_fetch_deadline(ctx, qid, attempt)
+            }
+            FlowerTimer::RouteDeadline { qid } => self.on_route_deadline(ctx, qid),
+            FlowerTimer::OriginDone { qid } => self.on_origin_done(ctx, qid),
+            FlowerTimer::DirSweep => self.on_dir_sweep(ctx),
+            FlowerTimer::ClaimDeadline { claim_seq } => self.on_claim_deadline(ctx, claim_seq),
+            FlowerTimer::PositionCheck => self.on_position_check(ctx),
+        }
+    }
+
+    fn on_leave(&mut self, ctx: &mut Ctx<Self>) {
+        // Voluntary departure (§5.2.2): a leaving directory transfers its
+        // view and directory-index to a content peer it manages. The
+        // paper's headline churn never exercises this (peers always fail);
+        // tests and the maintenance ablation do.
+        let Role::Directory(d) = &mut self.role else {
+            return;
+        };
+        let candidates: Vec<NodeId> = d.index.peer_ids().filter(|&p| p != self.me).collect();
+        if candidates.is_empty() {
+            return;
+        }
+        let heir = candidates[ctx.rng.gen_range(0..candidates.len())];
+        let seed = if d.chord.successor().node != self.me {
+            d.chord.successor()
+        } else {
+            d.chord.me()
+        };
+        let snapshot = d.index.snapshot();
+        let position = d.position;
+        d.index.remove_peer(heir);
+        ctx.send(
+            heir,
+            FlowerMsg::Promote {
+                position,
+                seed,
+                snapshot: Some(snapshot),
+            },
+        );
+    }
+}

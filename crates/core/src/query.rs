@@ -1,0 +1,822 @@
+//! The query state machine (§3.2) and the directory-side query processing,
+//! including the PetalUp instance scan (§4).
+//!
+//! Resolution order at a content peer: own store (excluded by construction
+//! — a peer never re-requests what it holds, §6.1) → gossip-view content
+//! summaries (petal-local, one hop) → its directory instance → origin
+//! server. A fresh client instead routes its first query over D-ring and
+//! joins the petal with the answer.
+
+use cdn_metrics::{Provider, QueryRecord, ResolvedVia};
+use chord::ChordId;
+use rand::Rng;
+use simnet::{Ctx, LocalityId, NodeId};
+use workload::{sample_exp, ObjectId, WebsiteId};
+
+use crate::dirinfo::DirInfo;
+use crate::dring::DirPosition;
+use crate::msg::{FlowerMsg, FlowerTimer, RoutePayload, Summary};
+use crate::peer::{FlowerPeer, FlowerReport, PendingQuery, ProtocolEvent, QueryPhase, Role};
+
+impl FlowerPeer {
+    // ==================================================================
+    // Client side
+    // ==================================================================
+
+    /// Periodic query issuance (active peers).
+    pub(crate) fn on_query_timer(&mut self, ctx: &mut Ctx<Self>) {
+        // Schedule the next query regardless (Poisson stream, mean 6 min).
+        let gap = sample_exp(ctx.rng, self.pcx.params.query_period_ms as f64).ceil() as u64;
+        ctx.set_timer(gap.max(1_000), FlowerTimer::Query);
+        if self.pending.is_some() {
+            return; // previous query still in flight (rare)
+        }
+        let website = self.pcx.website;
+        let store = &self.store;
+        let Some(object) = self
+            .pcx
+            .catalog
+            .sample_new_object(website, ctx.rng, |o| store.contains(o))
+        else {
+            return; // local store covers the whole site
+        };
+        let qid = self.alloc_qid();
+        self.pending = Some(PendingQuery {
+            qid,
+            object: Some(object),
+            issued_at: ctx.now(),
+            via: ResolvedVia::LocalView,
+            dht_hops: 0,
+            phase: QueryPhase::Resolving,
+            route_attempts: 0,
+            fetch_attempts: 0,
+            excluded: vec![self.me],
+            asked_dir: false,
+            fetch_sent_at: ctx.now(),
+        });
+        match &self.role {
+            Role::Client => self.route_pending_over_dring(ctx),
+            Role::Content => self.resolve_as_content(ctx),
+            Role::Directory(_) => self.resolve_as_directory_self(ctx),
+        }
+    }
+
+    /// Non-active peers join their petal without a query (§6.1).
+    pub(crate) fn start_petal_join(&mut self, ctx: &mut Ctx<Self>) {
+        if self.pending.is_some() {
+            return;
+        }
+        let qid = self.alloc_qid();
+        self.pending = Some(PendingQuery {
+            qid,
+            object: None,
+            issued_at: ctx.now(),
+            via: ResolvedVia::DhtRoute,
+            dht_hops: 0,
+            phase: QueryPhase::Resolving,
+            route_attempts: 0,
+            fetch_attempts: 0,
+            excluded: vec![self.me],
+            asked_dir: false,
+            fetch_sent_at: ctx.now(),
+        });
+        self.route_pending_over_dring(ctx);
+    }
+
+    /// Send the pending request to a bootstrap for D-ring routing.
+    pub(crate) fn route_pending_over_dring(&mut self, ctx: &mut Ctx<Self>) {
+        let Some(p) = &mut self.pending else {
+            return;
+        };
+        p.via = ResolvedVia::DhtRoute;
+        let (qid, object) = (p.qid, p.object);
+        let key = DirPosition::base(self.pcx.website, self.locality).chord_id();
+        match self.pick_bootstrap(ctx) {
+            Some(b) => {
+                let payload = RoutePayload::ClientRequest {
+                    client: self.me,
+                    website: self.pcx.website,
+                    locality: self.locality,
+                    object,
+                    qid,
+                };
+                ctx.send(b.node, FlowerMsg::DRingRoute { key, payload });
+                let deadline = self.pcx.params.rpc_timeout_ms * 8;
+                ctx.set_timer(deadline, FlowerTimer::RouteDeadline { qid });
+            }
+            None => {
+                // No D-ring entry point: fall back to the origin server.
+                self.start_origin_fetch(ctx, ResolvedVia::DirectOrigin);
+            }
+        }
+    }
+
+    /// Content-peer resolution: gossip summaries first, then the directory.
+    fn resolve_as_content(&mut self, ctx: &mut Ctx<Self>) {
+        if self.try_fetch_from_view(ctx) {
+            return;
+        }
+        self.ask_directory_or_fallback(ctx);
+    }
+
+    /// Find a petal contact whose content summary claims the object and
+    /// fetch from it. Returns false if no candidate remains.
+    pub(crate) fn try_fetch_from_view(&mut self, ctx: &mut Ctx<Self>) -> bool {
+        let Some(p) = &mut self.pending else {
+            return false;
+        };
+        let Some(object) = p.object else {
+            return false;
+        };
+        let key = object.as_u64();
+        let candidates: Vec<NodeId> = self
+            .gossip
+            .view()
+            .entries()
+            .iter()
+            .filter(|e| !p.excluded.contains(&e.node) && e.payload.contains(key))
+            .map(|e| e.node)
+            .collect();
+        if candidates.is_empty() {
+            return false;
+        }
+        let target = candidates[ctx.rng.gen_range(0..candidates.len())];
+        p.via = ResolvedVia::LocalView;
+        p.phase = QueryPhase::Fetching(target);
+        p.fetch_sent_at = ctx.now();
+        p.fetch_attempts += 1;
+        let (qid, attempt) = (p.qid, p.fetch_attempts);
+        ctx.send(target, FlowerMsg::Fetch { qid, object });
+        ctx.set_timer(
+            self.pcx.params.rpc_timeout_ms,
+            FlowerTimer::FetchDeadline { qid, attempt },
+        );
+        true
+    }
+
+    /// Ask our directory instance; if we have none (or it is being
+    /// replaced), go to the origin.
+    pub(crate) fn ask_directory_or_fallback(&mut self, ctx: &mut Ctx<Self>) {
+        let Some(p) = &mut self.pending else {
+            return;
+        };
+        let Some(object) = p.object else {
+            return;
+        };
+        if p.asked_dir || p.fetch_attempts >= 3 {
+            self.start_origin_fetch(ctx, ResolvedVia::DirectOrigin);
+            return;
+        }
+        match self.dir_info {
+            Some(di) => {
+                p.asked_dir = true;
+                p.via = ResolvedVia::Directory;
+                p.phase = QueryPhase::Resolving;
+                let qid = p.qid;
+                let exclude = p.excluded.clone();
+                ctx.send(
+                    di.holder.node,
+                    FlowerMsg::DirQuery {
+                        qid,
+                        object,
+                        exclude,
+                    },
+                );
+                // Budget covers a full sibling-directory walk (§3.2).
+                ctx.set_timer(
+                    self.pcx.params.rpc_timeout_ms * 5,
+                    FlowerTimer::RouteDeadline { qid },
+                );
+            }
+            None => {
+                ctx.report(FlowerReport::Event(ProtocolEvent::NoDirInfo));
+                self.start_origin_fetch(ctx, ResolvedVia::DirectOrigin)
+            }
+        }
+    }
+
+    /// Model the origin-server round trip (the origin is a latency, not a
+    /// peer — it always has the content).
+    pub(crate) fn start_origin_fetch(&mut self, ctx: &mut Ctx<Self>, via: ResolvedVia) {
+        let Some(p) = &mut self.pending else {
+            return;
+        };
+        if p.object.is_none() {
+            // A petal-join with nowhere to go: give up quietly; the next
+            // keepalive cycle or query retries.
+            self.pending = None;
+            return;
+        }
+        p.via = via;
+        p.phase = QueryPhase::Origin;
+        p.fetch_sent_at = ctx.now();
+        let qid = p.qid;
+        let rtt = 2 * self.pcx.origin_latency_ms.max(1);
+        ctx.set_timer(rtt, FlowerTimer::OriginDone { qid });
+    }
+
+    /// A directory answered our query (or petal join).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_redirect(
+        &mut self,
+        ctx: &mut Ctx<Self>,
+        qid: u64,
+        object: Option<ObjectId>,
+        provider: Option<NodeId>,
+        dir: DirInfo,
+        petal_view: Vec<(NodeId, Summary)>,
+        dht_hops: u32,
+    ) {
+        if self.pending.as_ref().is_none_or(|p| p.qid != qid) {
+            return;
+        }
+        // Adopt the answering directory and, if fresh, join the petal.
+        if !self.is_directory() {
+            self.dir_info = Some(dir);
+            if matches!(self.role, Role::Client) {
+                self.become_content_peer(ctx, &petal_view);
+            } else {
+                for (node, summary) in petal_view {
+                    if node != self.me {
+                        self.gossip.view_mut().upsert(gossip::Entry::new(node, summary));
+                    }
+                }
+            }
+        }
+        let p = self.pending.as_mut().expect("checked above");
+        p.dht_hops = p.dht_hops.max(dht_hops);
+        let Some(object) = object.or(p.object) else {
+            // Pure petal join completed.
+            self.pending = None;
+            return;
+        };
+        match provider {
+            Some(target) if !p.excluded.contains(&target) => {
+                p.phase = QueryPhase::Fetching(target);
+                p.fetch_sent_at = ctx.now();
+                p.fetch_attempts += 1;
+                let attempt = p.fetch_attempts;
+                ctx.send(target, FlowerMsg::Fetch { qid, object });
+                ctx.set_timer(
+                    self.pcx.params.rpc_timeout_ms,
+                    FlowerTimer::FetchDeadline { qid, attempt },
+                );
+            }
+            _ => {
+                let via = p.via;
+                self.start_origin_fetch(ctx, via);
+            }
+        }
+    }
+
+    /// Join the petal: seed the gossip view and start the maintenance
+    /// timers (§3.1, §5.1).
+    pub(crate) fn become_content_peer(
+        &mut self,
+        ctx: &mut Ctx<Self>,
+        petal_view: &[(NodeId, Summary)],
+    ) {
+        self.role = Role::Content;
+        for (node, summary) in petal_view {
+            if *node != self.me {
+                self.gossip
+                    .view_mut()
+                    .upsert(gossip::Entry::new(*node, summary.clone()));
+            }
+        }
+        let period = self.pcx.params.gossip_period_ms;
+        let g0 = ctx.rng.gen_range(period / 10..period);
+        let k0 = ctx.rng.gen_range(period / 10..period);
+        ctx.set_timer(g0, FlowerTimer::Gossip);
+        ctx.set_timer(k0, FlowerTimer::Keepalive);
+    }
+
+    /// The bootstrap could not route our request.
+    pub(crate) fn on_route_failed(&mut self, ctx: &mut Ctx<Self>, req_qid: u64) {
+        let Some(p) = &mut self.pending else {
+            return;
+        };
+        if p.qid != req_qid || p.phase != QueryPhase::Resolving {
+            return;
+        }
+        p.route_attempts += 1;
+        if p.route_attempts < 3 {
+            self.route_pending_over_dring(ctx);
+        } else {
+            ctx.report(FlowerReport::Event(ProtocolEvent::RouteFailure));
+            self.start_origin_fetch(ctx, ResolvedVia::DirectOrigin);
+        }
+    }
+
+    /// No Redirect arrived in time (bootstrap or directory unresponsive).
+    pub(crate) fn on_route_deadline(&mut self, ctx: &mut Ctx<Self>, qid: u64) {
+        let Some(p) = &mut self.pending else {
+            return;
+        };
+        if p.qid != qid || p.phase != QueryPhase::Resolving {
+            return;
+        }
+        if p.via == ResolvedVia::Directory {
+            // Our own directory went silent: fall back and trigger the
+            // §5.2 replacement machinery.
+            ctx.report(FlowerReport::Event(ProtocolEvent::DirQueryTimeout));
+            self.start_origin_fetch(ctx, ResolvedVia::DirectOrigin);
+            self.suspect_directory(ctx);
+            return;
+        }
+        p.route_attempts += 1;
+        if p.route_attempts < 3 {
+            self.route_pending_over_dring(ctx);
+        } else {
+            ctx.report(FlowerReport::Event(ProtocolEvent::RouteFailure));
+            self.start_origin_fetch(ctx, ResolvedVia::DirectOrigin);
+        }
+    }
+
+    /// Provider delivered the object.
+    pub(crate) fn on_fetch_ok(
+        &mut self,
+        ctx: &mut Ctx<Self>,
+        from: NodeId,
+        qid: u64,
+        object: ObjectId,
+    ) {
+        let Some(p) = &self.pending else {
+            return;
+        };
+        if p.qid != qid || p.phase != QueryPhase::Fetching(from) {
+            return;
+        }
+        let one_way = (ctx.now() - p.fetch_sent_at) / 2;
+        let provider_kind = if self.dir_info.is_some_and(|d| d.holder.node == from) {
+            Provider::DirectoryPeer
+        } else {
+            Provider::ContentPeer
+        };
+        self.complete_query(ctx, object, provider_kind, one_way);
+    }
+
+    /// Provider refused (summary false positive / stale index) or timed out.
+    pub(crate) fn on_fetch_failed(
+        &mut self,
+        ctx: &mut Ctx<Self>,
+        qid: u64,
+        provider: NodeId,
+        timed_out: bool,
+    ) {
+        let Some(p) = &mut self.pending else {
+            return;
+        };
+        if p.qid != qid || p.phase != QueryPhase::Fetching(provider) {
+            return;
+        }
+        p.excluded.push(provider);
+        ctx.report(FlowerReport::Event(if timed_out {
+            ProtocolEvent::FetchTimeout
+        } else {
+            ProtocolEvent::FetchMiss
+        }));
+        if timed_out {
+            // Unreachable contact: purge from the view (§6.1), and tell
+            // our directory so the stale index pointer dies with it.
+            self.gossip.view_mut().remove(provider);
+            if let Some(di) = self.dir_info {
+                ctx.send(di.holder.node, FlowerMsg::DeadPeerReport { peer: provider });
+            }
+        }
+        let p = self.pending.as_mut().expect("still pending");
+        p.phase = QueryPhase::Resolving;
+        if p.fetch_attempts >= 3 {
+            self.start_origin_fetch(ctx, ResolvedVia::DirectOrigin);
+            return;
+        }
+        if self.try_fetch_from_view(ctx) {
+            return;
+        }
+        // Re-consult the directory with the updated exclusion list (it may
+        // know another holder, or a sibling locality might).
+        let p = self.pending.as_mut().expect("still pending");
+        p.asked_dir = false;
+        self.ask_directory_or_fallback(ctx);
+    }
+
+    pub(crate) fn on_fetch_deadline(&mut self, ctx: &mut Ctx<Self>, qid: u64, attempt: u32) {
+        let Some(p) = &self.pending else {
+            return;
+        };
+        if p.qid != qid || p.fetch_attempts != attempt {
+            return;
+        }
+        let QueryPhase::Fetching(provider) = p.phase else {
+            return;
+        };
+        self.on_fetch_failed(ctx, qid, provider, true);
+    }
+
+    /// Origin round trip finished: a P2P miss, but the client now holds the
+    /// object and becomes a provider for the petal.
+    pub(crate) fn on_origin_done(&mut self, ctx: &mut Ctx<Self>, qid: u64) {
+        let Some(p) = &self.pending else {
+            return;
+        };
+        if p.qid != qid || p.phase != QueryPhase::Origin {
+            return;
+        }
+        let Some(object) = p.object else {
+            self.pending = None;
+            return;
+        };
+        let lat = self.pcx.origin_latency_ms;
+        self.complete_query(ctx, object, Provider::OriginServer, lat);
+    }
+
+    /// Wrap up the pending query: store the object, emit the record, push
+    /// to the directory if the threshold is crossed.
+    fn complete_query(
+        &mut self,
+        ctx: &mut Ctx<Self>,
+        object: ObjectId,
+        provider: Provider,
+        one_way_ms: u64,
+    ) {
+        let p = self.pending.take().expect("pending query");
+        let evicted = self.store.insert_with_eviction(object);
+        // Directory peers index their own store as petal content.
+        if let Role::Directory(d) = &mut self.role {
+            d.index.record_objects(self.me, [object], ctx.now().as_millis());
+            if !evicted.is_empty() {
+                let me = self.me;
+                d.index.retract_objects(me, evicted.iter().copied());
+            }
+        } else if !evicted.is_empty() {
+            // Retract evicted objects from our directory's index so it
+            // stops redirecting queriers to content we no longer hold.
+            if let Some(di) = self.dir_info {
+                ctx.send(di.holder.node, FlowerMsg::Retract { objects: evicted });
+            }
+        }
+        let record = QueryRecord {
+            issued_at_ms: p.issued_at.as_millis(),
+            lookup_ms: (p.fetch_sent_at - p.issued_at) + one_way_ms,
+            transfer_ms: one_way_ms,
+            dht_hops: p.dht_hops,
+            provider,
+            via: p.via,
+        };
+        ctx.report(FlowerReport::Query(record));
+        self.maybe_push(ctx);
+    }
+
+    // ==================================================================
+    // Directory side
+    // ==================================================================
+
+    /// A directory resolves its *own* query from its index or legacy
+    /// summaries, else the origin.
+    fn resolve_as_directory_self(&mut self, ctx: &mut Ctx<Self>) {
+        let Some(p) = &mut self.pending else {
+            return;
+        };
+        let Some(object) = p.object else {
+            self.pending = None;
+            return;
+        };
+        let me = self.me;
+        let qid = p.qid;
+        let Role::Directory(d) = &mut self.role else {
+            return;
+        };
+        let provider = d
+            .index
+            .provider_for(object, &[me], ctx.rng)
+            .or_else(|| summary_match(&self.gossip, object, &[me], ctx.rng));
+        match provider {
+            Some(target) => {
+                p.via = ResolvedVia::Directory;
+                p.phase = QueryPhase::Fetching(target);
+                p.fetch_sent_at = ctx.now();
+                p.fetch_attempts += 1;
+                let attempt = p.fetch_attempts;
+                ctx.send(target, FlowerMsg::Fetch { qid, object });
+                ctx.set_timer(
+                    self.pcx.params.rpc_timeout_ms,
+                    FlowerTimer::FetchDeadline { qid, attempt },
+                );
+            }
+            None => self.start_origin_fetch(ctx, ResolvedVia::DirectOrigin),
+        }
+    }
+
+    /// A content peer of our partition asks us to resolve a query (§5.1).
+    pub(crate) fn on_dir_query(
+        &mut self,
+        ctx: &mut Ctx<Self>,
+        from: NodeId,
+        qid: u64,
+        object: ObjectId,
+        client_exclude: Vec<NodeId>,
+    ) {
+        let me = self.me;
+        let now_ms = ctx.now().as_millis();
+        let fresh_ms = self.pcx.params.gossip_period_ms / 2;
+        let Some(self_info) = self.self_dir_info() else {
+            return; // stale dir-info at the sender; it will time out
+        };
+        let store_has = self.store.contains(object);
+        let Role::Directory(d) = &mut self.role else {
+            return;
+        };
+        d.index.heard_from(from, now_ms);
+        let mut exclude = client_exclude;
+        exclude.push(from);
+        exclude.push(me);
+        let provider = d
+            .index
+            .provider_recent(object, &exclude, now_ms, fresh_ms, ctx.rng)
+            .or(if store_has { Some(me) } else { None })
+            .or_else(|| summary_match(&self.gossip, object, &exclude, ctx.rng));
+        match provider {
+            Some(_) => ctx.send(
+                from,
+                FlowerMsg::Redirect {
+                    qid,
+                    object: Some(object),
+                    provider,
+                    dir: self_info,
+                    petal_view: Vec::new(),
+                    dht_hops: 0,
+                },
+            ),
+            None => {
+                ctx.report(FlowerReport::Event(ProtocolEvent::DirNoProvider));
+                // §3.2 collaboration: walk the query through our
+                // same-website ring neighbours before giving up.
+                self.forward_to_sibling_or_refuse(
+                    ctx,
+                    from,
+                    qid,
+                    object,
+                    self_info,
+                    Vec::new(),
+                    exclude,
+                );
+            }
+        }
+    }
+
+    /// Forward a provider search along the same-website ring successors
+    /// (§3.2), or answer the client with "origin" if the chain ends here.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn forward_to_sibling_or_refuse(
+        &mut self,
+        ctx: &mut Ctx<Self>,
+        client: NodeId,
+        qid: u64,
+        object: ObjectId,
+        dir: DirInfo,
+        petal_view: Vec<(NodeId, Summary)>,
+        exclude: Vec<NodeId>,
+    ) {
+        let Role::Directory(d) = &mut self.role else {
+            return;
+        };
+        let succ = d.chord.successor();
+        let same_site = d.position.same_website(succ.id) && succ.node != self.me;
+        if same_site {
+            ctx.send(
+                succ.node,
+                FlowerMsg::SiblingQuery {
+                    client,
+                    qid,
+                    object,
+                    dir,
+                    petal_view,
+                    exclude,
+                    ttl: 6,
+                },
+            );
+        } else {
+            ctx.send(
+                client,
+                FlowerMsg::Redirect {
+                    qid,
+                    object: Some(object),
+                    provider: None,
+                    dir,
+                    petal_view,
+                    dht_hops: 0,
+                },
+            );
+        }
+    }
+
+    /// A sibling directory's provider search reached us.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_sibling_query(
+        &mut self,
+        ctx: &mut Ctx<Self>,
+        client: NodeId,
+        qid: u64,
+        object: ObjectId,
+        dir: DirInfo,
+        petal_view: Vec<(NodeId, Summary)>,
+        mut exclude: Vec<NodeId>,
+        ttl: u8,
+    ) {
+        let me = self.me;
+        let now_ms = ctx.now().as_millis();
+        let fresh_ms = self.pcx.params.gossip_period_ms / 2;
+        let store_has = self.store.contains(object);
+        let Role::Directory(d) = &mut self.role else {
+            return; // chain broken: the client's deadline handles it
+        };
+        exclude.push(me);
+        let provider = d
+            .index
+            .provider_recent(object, &exclude, now_ms, fresh_ms, ctx.rng)
+            .or(if store_has { Some(me) } else { None })
+            .or_else(|| summary_match(&self.gossip, object, &exclude, ctx.rng));
+        if provider.is_some() {
+            ctx.send(
+                client,
+                FlowerMsg::Redirect {
+                    qid,
+                    object: Some(object),
+                    provider,
+                    dir,
+                    petal_view,
+                    dht_hops: 0,
+                },
+            );
+            return;
+        }
+        let succ = d.chord.successor();
+        let keep_walking =
+            ttl > 0 && d.position.same_website(succ.id) && succ.node != self.me;
+        if keep_walking {
+            ctx.send(
+                succ.node,
+                FlowerMsg::SiblingQuery {
+                    client,
+                    qid,
+                    object,
+                    dir,
+                    petal_view,
+                    exclude,
+                    ttl: ttl - 1,
+                },
+            );
+        } else {
+            ctx.send(
+                client,
+                FlowerMsg::Redirect {
+                    qid,
+                    object: Some(object),
+                    provider: None,
+                    dir,
+                    petal_view,
+                    dht_hops: 0,
+                },
+            );
+        }
+    }
+
+    /// A routed new-client request reached us as ring owner of `key`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_routed_client_request(
+        &mut self,
+        ctx: &mut Ctx<Self>,
+        key: ChordId,
+        client: NodeId,
+        website: WebsiteId,
+        locality: LocalityId,
+        object: Option<ObjectId>,
+        qid: u64,
+        hops: u32,
+    ) {
+        let me = self.me;
+        let capacity = self.pcx.params.directory_capacity;
+        let Role::Directory(d) = &mut self.role else {
+            return;
+        };
+        if !d.position.same_couple(key) {
+            // We are not a directory for this couple: the base position is
+            // vacant (§5.2.2 case 2). Arbitrate the client straight in.
+            self.arbitrate_client_takeover(ctx, key, client, website, locality, qid, hops);
+            return;
+        }
+        // PetalUp scan (§4): overloaded instances pass the query along the
+        // instance chain; the final overloaded instance splits.
+        if d.index.peer_count() >= capacity && !d.index.contains_peer(client) {
+            let next_pos = d.position.next_instance();
+            if let Some(next_pos) = next_pos {
+                let succ = d.chord.successor();
+                if succ.id == next_pos.chord_id() {
+                    ctx.send(
+                        succ.node,
+                        FlowerMsg::Routed {
+                            key: next_pos.chord_id(),
+                            payload: RoutePayload::ClientRequest {
+                                client,
+                                website,
+                                locality,
+                                object,
+                                qid,
+                            },
+                            hops: hops + 1,
+                        },
+                    );
+                    return;
+                }
+                // No next instance yet: split the petal (§4), then process
+                // this query ourselves.
+                self.split_petal(ctx, next_pos);
+            }
+        }
+        let now_ms = ctx.now().as_millis();
+        let self_info = self.self_dir_info().expect("directory role");
+        let store_has = object.is_some_and(|o| self.store.contains(o));
+        let shuffle_len = self.pcx.params.shuffle_len;
+        let Role::Directory(d) = &mut self.role else {
+            return;
+        };
+        d.index.register_peer(client, now_ms);
+        let fresh_ms = self.pcx.params.gossip_period_ms / 2;
+        let provider = object.and_then(|o| {
+            let exclude = [client, me];
+            d.index
+                .provider_recent(o, &exclude, now_ms, fresh_ms, ctx.rng)
+                .or(if store_has { Some(me) } else { None })
+                .or_else(|| summary_match(&self.gossip, o, &exclude, ctx.rng))
+        });
+        if let Some(o) = object {
+            // The client will hold the object once its fetch completes
+            // (from a peer or the origin) — index it now (§3.2).
+            d.index.record_objects(client, [o], now_ms);
+        }
+        let mut petal_view = d.index.sample_contacts(shuffle_len + 3, client, ctx.rng);
+        if petal_view.is_empty() {
+            // Fresh (e.g. just-promoted) directory: hand out our own old
+            // gossip view instead (§4).
+            petal_view = self
+                .gossip
+                .view()
+                .sample(ctx.rng, shuffle_len, Some(client))
+                .into_iter()
+                .map(|e| (e.node, e.payload))
+                .collect();
+        }
+        if provider.is_none() {
+            if let Some(o) = object {
+                // No petal-local provider for the new client: try the
+                // website's sibling directories before sending it to the
+                // origin (§3.2).
+                self.forward_to_sibling_or_refuse(
+                    ctx,
+                    client,
+                    qid,
+                    o,
+                    self_info,
+                    petal_view,
+                    vec![client, me],
+                );
+                return;
+            }
+        }
+        ctx.send(
+            client,
+            FlowerMsg::Redirect {
+                qid,
+                object,
+                provider,
+                dir: self_info,
+                petal_view,
+                dht_hops: hops,
+            },
+        );
+    }
+}
+
+/// Find a gossip-view contact whose summary claims `object` — the "content
+/// summaries previously received during gossip exchanges" a replacement
+/// directory answers first queries from (§6.2.1).
+pub(crate) fn summary_match(
+    gossip: &gossip::Cyclon<Summary>,
+    object: ObjectId,
+    exclude: &[NodeId],
+    rng: &mut impl Rng,
+) -> Option<NodeId> {
+    let key = object.as_u64();
+    let candidates: Vec<NodeId> = gossip
+        .view()
+        .entries()
+        .iter()
+        .filter(|e| !exclude.contains(&e.node) && e.payload.contains(key))
+        .map(|e| e.node)
+        .collect();
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(candidates[rng.gen_range(0..candidates.len())])
+    }
+}

@@ -1,0 +1,1023 @@
+//! The **Squirrel** baseline (Iyer, Rowstron, Druschel — PODC 2002): a
+//! decentralized P2P web cache in which *every* peer sits on one DHT and
+//! the *home node* `hash(url)` coordinates each object.
+//!
+//! The paper compares Flower-CDN against Squirrel's **directory** scheme
+//! ("Squirrel … shares some similarities with Flower-CDN wrt the directory
+//! structure", §6.1): the home node keeps a small directory of recent
+//! downloaders and redirects queries to one of them. Its weakness under
+//! churn is exactly what Fig. 3 shows: "the information about previous
+//! downloaders … is abruptly lost with the failure of the directory peer
+//! in charge of it" (§6.2.1). The **home-store** scheme (home node caches
+//! the object itself) is also implemented as an ablation.
+//!
+//! Both schemes route every query across the whole overlay with no
+//! locality awareness — the paper's two criticisms of DHT-based P2P
+//! caching (§2).
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use bloom::hash::hash_u64;
+use chord::{Chord, ChordAction, ChordId, ChordMsg, ChordTimer, NodeRef};
+use cdn_metrics::{Provider, QueryRecord, ResolvedVia};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::{Ctx, Node, NodeId, Point, Time, Topology, World};
+use workload::{generate_sessions, sample_exp, Catalog, ObjectId, WebsiteId};
+
+use crate::bootstrap::{Bootstrap, SharedBootstrap};
+use crate::config::SimParams;
+use crate::engine::RunResult;
+
+/// Which Squirrel scheme to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SquirrelMode {
+    /// Home node keeps pointers to recent downloaders (the paper's
+    /// comparison target).
+    Directory,
+    /// Home node caches the object itself.
+    HomeStore,
+}
+
+/// Recent-downloader directory capacity at a home node (the original
+/// Squirrel keeps "a small directory" — 4 is its published default).
+const HOME_DIR_CAPACITY: usize = 4;
+
+/// Squirrel wire messages.
+#[derive(Debug, Clone)]
+pub enum SqMsg {
+    Chord(ChordMsg),
+    /// Query forwarded to the object's home node. `exclude` lists
+    /// downloaders the requester already found dead (the home prunes them).
+    Query {
+        qid: u64,
+        object: ObjectId,
+        exclude: Vec<NodeId>,
+    },
+    /// Home node's verdict: fetch from `provider`, or from the origin.
+    Answer {
+        qid: u64,
+        object: ObjectId,
+        provider: Option<NodeId>,
+    },
+    Fetch { qid: u64, object: ObjectId },
+    FetchOk { qid: u64, object: ObjectId },
+    FetchMiss { qid: u64, object: ObjectId },
+    /// Home-store mode: the requester hands the home node a copy after a
+    /// miss, so the home can serve the next query itself.
+    StoreCopy { object: ObjectId },
+}
+
+/// Squirrel timers.
+#[derive(Debug, Clone)]
+pub enum SqTimer {
+    Chord(ChordTimer),
+    Query,
+    AnswerDeadline { qid: u64 },
+    FetchDeadline { qid: u64, attempt: u32 },
+    OriginDone { qid: u64 },
+}
+
+/// Per-peer immutable context.
+#[derive(Clone)]
+pub struct SqCtx {
+    pub catalog: Rc<Catalog>,
+    pub params: Rc<SimParams>,
+    pub bootstrap: SharedBootstrap,
+    pub website: WebsiteId,
+    pub origin_latency_ms: u64,
+    pub mode: SquirrelMode,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SqPhase {
+    Routing,
+    AwaitAnswer { home: NodeId },
+    Fetching { provider: NodeId, home: NodeId },
+    Origin { home: Option<NodeId> },
+}
+
+struct SqPending {
+    qid: u64,
+    object: ObjectId,
+    issued_at: Time,
+    phase: SqPhase,
+    dht_hops: u32,
+    lookup_attempts: u32,
+    fetch_attempts: u32,
+    excluded: Vec<NodeId>,
+    fetch_sent_at: Time,
+}
+
+/// The object's DHT key: hash of its identifier (the "URL").
+pub fn object_key(o: ObjectId) -> ChordId {
+    ChordId(hash_u64(o.as_u64(), 0x5041_5154))
+}
+
+/// A Squirrel peer's ring position: hash of its address.
+pub fn peer_ring_id(me: NodeId) -> ChordId {
+    ChordId(hash_u64(me.raw(), 0x5153_4952))
+}
+
+/// Report stream of a Squirrel peer.
+#[derive(Debug, Clone)]
+pub enum SqReport {
+    Query(QueryRecord),
+    Event(SqEvent),
+}
+
+/// Diagnostics for where Squirrel queries are lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SqEvent {
+    /// DHT lookup for the home node failed outright.
+    LookupFailed,
+    /// The home node did not answer in time (died after the lookup).
+    AnswerTimeout,
+    /// The home had no live downloader listed.
+    HomeEmpty,
+    /// A listed downloader answered FetchMiss.
+    FetchMiss,
+    /// A listed downloader timed out.
+    FetchTimeout,
+    /// A query was answered by a node that does not (strictly) own the
+    /// object's key — routing inconsistency diagnostic.
+    AnsweredByNonOwner,
+}
+
+/// A Squirrel peer.
+pub struct SquirrelPeer {
+    pcx: SqCtx,
+    me: NodeId,
+    active: bool,
+    store: crate::store::ContentStore,
+    chord: Chord,
+    /// Directory mode: recent downloaders of objects homed at me.
+    home_dir: BTreeMap<ObjectId, Vec<NodeId>>,
+    pending: Option<SqPending>,
+    /// chord lookup token → qid.
+    lookup_jobs: BTreeMap<u64, u64>,
+    next_qid: u64,
+    /// Actions from the Chord constructor, applied at `on_start`.
+    startup_chord_actions: Vec<ChordAction>,
+}
+
+impl SquirrelPeer {
+    /// A peer arriving through churn; joins the overlay through a
+    /// bootstrap contact.
+    pub fn arriving(pcx: SqCtx, me: NodeId, seed: NodeRef) -> SquirrelPeer {
+        let me_ref = NodeRef::new(me, peer_ring_id(me));
+        let (chord, actions) = Chord::join(me_ref, seed, pcx.params.chord.clone());
+        SquirrelPeer::with_chord(pcx, me, chord, actions)
+    }
+
+    /// An initial member with a pre-converged Chord (t=0 population).
+    pub fn initial(
+        pcx: SqCtx,
+        me: NodeId,
+        chord: Chord,
+        actions: Vec<ChordAction>,
+    ) -> SquirrelPeer {
+        SquirrelPeer::with_chord(pcx, me, chord, actions)
+    }
+
+    fn with_chord(
+        pcx: SqCtx,
+        me: NodeId,
+        chord: Chord,
+        startup_chord_actions: Vec<ChordAction>,
+    ) -> SquirrelPeer {
+        let active = pcx.catalog.is_active(pcx.website);
+        let store = crate::store::ContentStore::with_policy(pcx.params.store_policy);
+        SquirrelPeer {
+            pcx,
+            me,
+            active,
+            store,
+            chord,
+            home_dir: BTreeMap::new(),
+            pending: None,
+            lookup_jobs: BTreeMap::new(),
+            next_qid: 0,
+            startup_chord_actions,
+        }
+    }
+
+    pub fn is_joined(&self) -> bool {
+        self.chord.is_joined()
+    }
+
+    pub fn store_len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Objects currently homed at this peer (directory mode).
+    pub fn homed_objects(&self) -> usize {
+        self.home_dir.len()
+    }
+
+    fn apply_chord_actions(&mut self, ctx: &mut Ctx<Self>, actions: Vec<ChordAction>) {
+        for a in actions {
+            match a {
+                ChordAction::Send { to, msg } => ctx.send(to.node, SqMsg::Chord(msg)),
+                ChordAction::SetTimer { delay_ms, timer } => {
+                    ctx.set_timer(delay_ms, SqTimer::Chord(timer))
+                }
+                ChordAction::LookupDone {
+                    token,
+                    owner,
+                    hops,
+                    ..
+                } => self.on_lookup_done(ctx, token, owner, hops),
+                ChordAction::LookupFailed { token, .. } => self.on_lookup_failed(ctx, token),
+                ChordAction::JoinComplete { .. } => {
+                    self.pcx.bootstrap.borrow_mut().add(self.chord.me());
+                    if self.active {
+                        let delay = ctx.rng.gen_range(500..5_000);
+                        ctx.set_timer(delay, SqTimer::Query);
+                    }
+                }
+                ChordAction::JoinFailed | ChordAction::Isolated => {
+                    // Join failed or we lost every successor: re-bootstrap
+                    // through a fresh seed. Deregister first so nobody
+                    // bootstraps through us while we are cut off.
+                    self.pcx.bootstrap.borrow_mut().remove(self.me);
+                    let exclude = [self.me];
+                    let seed = self.pcx.bootstrap.borrow().pick(ctx.rng, &exclude);
+                    if let Some(seed) = seed {
+                        let me_ref = NodeRef::new(self.me, peer_ring_id(self.me));
+                        let (chord, actions) =
+                            Chord::join(me_ref, seed, self.pcx.params.chord.clone());
+                        self.chord = chord;
+                        self.apply_chord_actions(ctx, actions);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Client side
+    // ------------------------------------------------------------------
+
+    fn on_query_timer(&mut self, ctx: &mut Ctx<Self>) {
+        let gap = sample_exp(ctx.rng, self.pcx.params.query_period_ms as f64).ceil() as u64;
+        ctx.set_timer(gap.max(1_000), SqTimer::Query);
+        if self.pending.is_some() || !self.chord.is_joined() {
+            return;
+        }
+        let website = self.pcx.website;
+        let store = &self.store;
+        let Some(object) = self
+            .pcx
+            .catalog
+            .sample_new_object(website, ctx.rng, |o| store.contains(o))
+        else {
+            return;
+        };
+        self.next_qid += 1;
+        let qid = self.next_qid;
+        self.pending = Some(SqPending {
+            qid,
+            object,
+            issued_at: ctx.now(),
+            phase: SqPhase::Routing,
+            dht_hops: 0,
+            lookup_attempts: 1,
+            fetch_attempts: 0,
+            excluded: vec![self.me],
+            fetch_sent_at: ctx.now(),
+        });
+        self.start_home_lookup(ctx, qid, object);
+    }
+
+    fn start_home_lookup(&mut self, ctx: &mut Ctx<Self>, qid: u64, object: ObjectId) {
+        let (token, actions) = self.chord.lookup_recursive(object_key(object));
+        self.lookup_jobs.insert(token, qid);
+        self.apply_chord_actions(ctx, actions);
+    }
+
+    fn on_lookup_done(&mut self, ctx: &mut Ctx<Self>, token: u64, owner: NodeRef, hops: u32) {
+        let Some(qid) = self.lookup_jobs.remove(&token) else {
+            return;
+        };
+        let Some(p) = &mut self.pending else {
+            return;
+        };
+        if p.qid != qid || p.phase != SqPhase::Routing {
+            return;
+        }
+        p.dht_hops = hops;
+        let object = p.object;
+        let exclude = p.excluded.clone();
+        if owner.node == self.me {
+            // We are the home node ourselves: consult our own directory.
+            p.phase = SqPhase::AwaitAnswer { home: self.me };
+            let provider = self.home_answer(ctx, self.me, object, &exclude);
+            self.on_answer(ctx, qid, object, provider);
+            return;
+        }
+        p.phase = SqPhase::AwaitAnswer { home: owner.node };
+        ctx.send(
+            owner.node,
+            SqMsg::Query {
+                qid,
+                object,
+                exclude,
+            },
+        );
+        ctx.set_timer(
+            self.pcx.params.rpc_timeout_ms * 2,
+            SqTimer::AnswerDeadline { qid },
+        );
+    }
+
+    fn on_lookup_failed(&mut self, ctx: &mut Ctx<Self>, token: u64) {
+        let Some(qid) = self.lookup_jobs.remove(&token) else {
+            return;
+        };
+        ctx.report(SqReport::Event(SqEvent::LookupFailed));
+        self.retry_or_origin(ctx, qid);
+    }
+
+    fn retry_or_origin(&mut self, ctx: &mut Ctx<Self>, qid: u64) {
+        let Some(p) = &mut self.pending else {
+            return;
+        };
+        if p.qid != qid {
+            return;
+        }
+        if p.lookup_attempts < 2 {
+            p.lookup_attempts += 1;
+            p.phase = SqPhase::Routing;
+            let object = p.object;
+            self.start_home_lookup(ctx, qid, object);
+        } else {
+            self.start_origin_fetch(ctx, qid, None);
+        }
+    }
+
+    fn on_answer(
+        &mut self,
+        ctx: &mut Ctx<Self>,
+        qid: u64,
+        object: ObjectId,
+        provider: Option<NodeId>,
+    ) {
+        let Some(p) = &mut self.pending else {
+            return;
+        };
+        if p.qid != qid || p.object != object {
+            return;
+        }
+        let SqPhase::AwaitAnswer { home } = p.phase else {
+            return;
+        };
+        match provider {
+            Some(target) if !p.excluded.contains(&target) => {
+                p.phase = SqPhase::Fetching {
+                    provider: target,
+                    home,
+                };
+                p.fetch_sent_at = ctx.now();
+                p.fetch_attempts += 1;
+                let attempt = p.fetch_attempts;
+                ctx.send(target, SqMsg::Fetch { qid, object });
+                ctx.set_timer(
+                    self.pcx.params.rpc_timeout_ms,
+                    SqTimer::FetchDeadline { qid, attempt },
+                );
+            }
+            _ => {
+                ctx.report(SqReport::Event(SqEvent::HomeEmpty));
+                self.start_origin_fetch(ctx, qid, Some(home))
+            }
+        }
+    }
+
+    fn start_origin_fetch(&mut self, ctx: &mut Ctx<Self>, qid: u64, home: Option<NodeId>) {
+        let Some(p) = &mut self.pending else {
+            return;
+        };
+        if p.qid != qid {
+            return;
+        }
+        p.phase = SqPhase::Origin { home };
+        p.fetch_sent_at = ctx.now();
+        let rtt = 2 * self.pcx.origin_latency_ms.max(1);
+        ctx.set_timer(rtt, SqTimer::OriginDone { qid });
+    }
+
+    fn on_fetch_ok(&mut self, ctx: &mut Ctx<Self>, from: NodeId, qid: u64) {
+        let Some(p) = &self.pending else {
+            return;
+        };
+        if p.qid != qid {
+            return;
+        }
+        let SqPhase::Fetching { provider, home } = p.phase else {
+            return;
+        };
+        if provider != from {
+            return;
+        }
+        let one_way = (ctx.now() - p.fetch_sent_at) / 2;
+        let kind = if from == home {
+            Provider::DirectoryPeer // home-store service
+        } else {
+            Provider::ContentPeer
+        };
+        self.complete(ctx, kind, one_way);
+    }
+
+    fn on_fetch_failed(&mut self, ctx: &mut Ctx<Self>, qid: u64, provider: NodeId) {
+        let Some(p) = &mut self.pending else {
+            return;
+        };
+        if p.qid != qid {
+            return;
+        }
+        let SqPhase::Fetching {
+            provider: expected,
+            home,
+        } = p.phase
+        else {
+            return;
+        };
+        if provider != expected {
+            return;
+        }
+        p.excluded.push(provider);
+        if p.fetch_attempts >= 3 {
+            self.start_origin_fetch(ctx, qid, Some(home));
+            return;
+        }
+        // Ask the home again, reporting the dead downloader so it prunes.
+        let object = p.object;
+        let exclude = p.excluded.clone();
+        p.phase = SqPhase::AwaitAnswer { home };
+        if home == self.me {
+            let provider = self.home_answer(ctx, self.me, object, &exclude);
+            self.on_answer(ctx, qid, object, provider);
+            return;
+        }
+        ctx.send(
+            home,
+            SqMsg::Query {
+                qid,
+                object,
+                exclude,
+            },
+        );
+        ctx.set_timer(
+            self.pcx.params.rpc_timeout_ms * 2,
+            SqTimer::AnswerDeadline { qid },
+        );
+    }
+
+    fn on_answer_deadline(&mut self, ctx: &mut Ctx<Self>, qid: u64) {
+        let Some(p) = &self.pending else {
+            return;
+        };
+        if p.qid != qid || !matches!(p.phase, SqPhase::AwaitAnswer { .. }) {
+            return;
+        }
+        // Home node died between lookup and query: re-route; the DHT will
+        // have promoted a successor (whose directory starts empty — the
+        // Squirrel weakness the paper highlights).
+        ctx.report(SqReport::Event(SqEvent::AnswerTimeout));
+        self.retry_or_origin(ctx, qid);
+    }
+
+    fn on_origin_done(&mut self, ctx: &mut Ctx<Self>, qid: u64) {
+        let Some(p) = &self.pending else {
+            return;
+        };
+        if p.qid != qid {
+            return;
+        }
+        let SqPhase::Origin { home } = p.phase else {
+            return;
+        };
+        let lat = self.pcx.origin_latency_ms;
+        if self.pcx.mode == SquirrelMode::HomeStore {
+            if let Some(home) = home {
+                if home != self.me {
+                    let object = p.object;
+                    ctx.send(home, SqMsg::StoreCopy { object });
+                }
+            }
+        }
+        self.complete(ctx, Provider::OriginServer, lat);
+    }
+
+    fn complete(&mut self, ctx: &mut Ctx<Self>, provider: Provider, one_way_ms: u64) {
+        let p = self.pending.take().expect("pending");
+        let _evicted = self.store.insert_with_eviction(p.object);
+        // (Squirrel has no retraction channel: stale home-directory
+        // pointers are pruned by the exclude-on-requery protocol.)
+        let record = QueryRecord {
+            issued_at_ms: p.issued_at.as_millis(),
+            lookup_ms: (p.fetch_sent_at - p.issued_at) + one_way_ms,
+            transfer_ms: one_way_ms,
+            dht_hops: p.dht_hops,
+            provider,
+            via: ResolvedVia::DhtRoute,
+        };
+        ctx.report(SqReport::Query(record));
+    }
+
+    // ------------------------------------------------------------------
+    // Home-node side
+    // ------------------------------------------------------------------
+
+    /// Answer a query for an object homed at me; prunes `exclude` from the
+    /// directory and registers the requester as a recent downloader.
+    fn home_answer(
+        &mut self,
+        ctx: &mut Ctx<Self>,
+        requester: NodeId,
+        object: ObjectId,
+        exclude: &[NodeId],
+    ) -> Option<NodeId> {
+        match self.pcx.mode {
+            SquirrelMode::HomeStore => {
+                if self.store.contains(object) {
+                    Some(self.me)
+                } else {
+                    None
+                }
+            }
+            SquirrelMode::Directory => {
+                let dir = self.home_dir.entry(object).or_default();
+                dir.retain(|n| !exclude.contains(n));
+                let provider = if dir.is_empty() {
+                    None
+                } else {
+                    Some(dir[ctx.rng.gen_range(0..dir.len())])
+                };
+                // Record the requester (it is about to hold the object),
+                // most-recent last, bounded capacity.
+                dir.retain(|&n| n != requester);
+                dir.push(requester);
+                if dir.len() > HOME_DIR_CAPACITY {
+                    dir.remove(0);
+                }
+                provider
+            }
+        }
+    }
+}
+
+impl Node for SquirrelPeer {
+    type Msg = SqMsg;
+    type Timer = SqTimer;
+    type Report = SqReport;
+
+    fn on_start(&mut self, ctx: &mut Ctx<Self>) {
+        let startup = std::mem::take(&mut self.startup_chord_actions);
+        self.apply_chord_actions(ctx, startup);
+        if self.chord.is_joined() {
+            // Initial member: no JoinComplete will fire.
+            self.pcx.bootstrap.borrow_mut().add(self.chord.me());
+            if self.active {
+                let delay = ctx.rng.gen_range(1_000..30_000);
+                ctx.set_timer(delay, SqTimer::Query);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<Self>, from: NodeId, msg: SqMsg) {
+        match msg {
+            SqMsg::Chord(m) => {
+                let actions = self.chord.handle_message(from, m);
+                self.apply_chord_actions(ctx, actions);
+            }
+            SqMsg::Query {
+                qid,
+                object,
+                exclude,
+            } => {
+                if !self.chord.owns_strict(object_key(object)) {
+                    ctx.report(SqReport::Event(SqEvent::AnsweredByNonOwner));
+                }
+                let provider = self.home_answer(ctx, from, object, &exclude);
+                ctx.send(
+                    from,
+                    SqMsg::Answer {
+                        qid,
+                        object,
+                        provider,
+                    },
+                );
+            }
+            SqMsg::Answer {
+                qid,
+                object,
+                provider,
+            } => self.on_answer(ctx, qid, object, provider),
+            SqMsg::Fetch { qid, object } => {
+                let reply = if self.store.contains(object) {
+                    self.store.touch(object);
+                    SqMsg::FetchOk { qid, object }
+                } else {
+                    SqMsg::FetchMiss { qid, object }
+                };
+                ctx.send(from, reply);
+            }
+            SqMsg::FetchOk { qid, .. } => self.on_fetch_ok(ctx, from, qid),
+            SqMsg::FetchMiss { qid, .. } => {
+                ctx.report(SqReport::Event(SqEvent::FetchMiss));
+                self.on_fetch_failed(ctx, qid, from)
+            }
+            SqMsg::StoreCopy { object } => {
+                if self.pcx.mode == SquirrelMode::HomeStore {
+                    self.store.insert(object);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<Self>, timer: SqTimer) {
+        match timer {
+            SqTimer::Chord(t) => {
+                let actions = self.chord.handle_timer(t);
+                self.apply_chord_actions(ctx, actions);
+            }
+            SqTimer::Query => self.on_query_timer(ctx),
+            SqTimer::AnswerDeadline { qid } => self.on_answer_deadline(ctx, qid),
+            SqTimer::FetchDeadline { qid, attempt } => {
+                let Some(p) = &self.pending else {
+                    return;
+                };
+                if p.qid != qid || p.fetch_attempts != attempt {
+                    return;
+                }
+                let SqPhase::Fetching { provider, .. } = p.phase else {
+                    return;
+                };
+                ctx.report(SqReport::Event(SqEvent::FetchTimeout));
+                self.on_fetch_failed(ctx, qid, provider);
+            }
+            SqTimer::OriginDone { qid } => self.on_origin_done(ctx, qid),
+        }
+    }
+}
+
+// ======================================================================
+// Engine
+// ======================================================================
+
+/// Engine-level control events.
+pub enum SqControl {
+    Spawn {
+        website: WebsiteId,
+        lifetime_ms: u64,
+    },
+    Fail(NodeId),
+}
+
+/// The Squirrel simulation, mirroring [`crate::engine::FlowerSim`]'s
+/// construction so both systems face the same topology shape, churn law
+/// and workload (§6.1).
+pub struct SquirrelSim {
+    params: Rc<SimParams>,
+    catalog: Rc<Catalog>,
+    bootstrap: SharedBootstrap,
+    world: World<SquirrelPeer, SqControl>,
+    origins: Vec<Point>,
+    engine_rng: StdRng,
+    mode: SquirrelMode,
+}
+
+impl SquirrelSim {
+    pub fn new(params: SimParams, mode: SquirrelMode) -> SquirrelSim {
+        let params = Rc::new(params);
+        let catalog = Rc::new(Catalog::new(params.catalog.clone()));
+        let mut engine_rng = StdRng::seed_from_u64(params.seed ^ 0xE61E);
+        let topology = Topology::new(params.topology.clone(), &mut engine_rng);
+        let origins: Vec<Point> = (0..params.catalog.websites)
+            .map(|_| {
+                Point::new(
+                    engine_rng.gen_range(0.0..params.topology.world_size),
+                    engine_rng.gen_range(0.0..params.topology.world_size),
+                )
+            })
+            .collect();
+        let bootstrap = Bootstrap::shared();
+        let world: World<SquirrelPeer, SqControl> = World::new(topology, params.seed);
+        let mut sim = SquirrelSim {
+            params,
+            catalog,
+            bootstrap,
+            world,
+            origins,
+            engine_rng,
+            mode,
+        };
+        sim.build_initial_population();
+        sim.schedule_churn();
+        sim
+    }
+
+    /// The t=0 population mirrors Flower-CDN's 600 initial directory peers:
+    /// same count, same per-locality placement, same (ws, loc)-major
+    /// interest assignment — here they are just ordinary Squirrel peers on
+    /// one converged ring.
+    fn build_initial_population(&mut self) {
+        let k = self.params.topology.localities;
+        let websites = self.params.catalog.websites;
+        let mut members: Vec<(WebsiteId, simnet::LocalityId, NodeRef)> = Vec::new();
+        let mut next_index = self.world.next_id().index();
+        for ws in 0..websites {
+            for loc in 0..k {
+                let me = NodeId::from_index(next_index);
+                members.push((
+                    WebsiteId(ws),
+                    simnet::LocalityId(loc),
+                    NodeRef::new(me, peer_ring_id(me)),
+                ));
+                next_index += 1;
+            }
+        }
+        let mut ring: Vec<NodeRef> = members.iter().map(|&(_, _, r)| r).collect();
+        ring.sort_by_key(|r| r.id.0);
+        for (ws, loc, me_ref) in members {
+            let ring_idx = ring
+                .binary_search_by_key(&me_ref.id.0, |r| r.id.0)
+                .expect("member in ring");
+            let (chord, actions) = Chord::converged(ring_idx, &ring, self.params.chord.clone());
+            let at = self
+                .world
+                .topology()
+                .sample_point_in(loc, &mut self.engine_rng);
+            let pcx = self.peer_ctx(ws, at);
+            self.world
+                .spawn(at, |me, _loc| SquirrelPeer::initial(pcx, me, chord, actions));
+            self.bootstrap.borrow_mut().add(me_ref);
+        }
+    }
+
+    fn schedule_churn(&mut self) {
+        let churn = self.params.churn();
+        let initial = self.params.initial_directories();
+        let sessions = generate_sessions(&churn, initial, &mut self.engine_rng);
+        for (i, s) in sessions.iter().enumerate() {
+            if i < initial {
+                self.world.schedule_control(
+                    Time::from_millis(s.departure_ms()),
+                    SqControl::Fail(NodeId::from_index(i)),
+                );
+            } else {
+                let website = self.catalog.assign_interest(&mut self.engine_rng);
+                self.world.schedule_control(
+                    Time::from_millis(s.arrival_ms),
+                    SqControl::Spawn {
+                        website,
+                        lifetime_ms: s.lifetime_ms,
+                    },
+                );
+            }
+        }
+    }
+
+    fn peer_ctx(&self, website: WebsiteId, at: Point) -> SqCtx {
+        let origin = self.origins[website.0 as usize];
+        let origin_latency_ms = self.world.topology().latency_between(at, origin);
+        SqCtx {
+            catalog: Rc::clone(&self.catalog),
+            params: Rc::clone(&self.params),
+            bootstrap: Rc::clone(&self.bootstrap),
+            website,
+            origin_latency_ms,
+            mode: self.mode,
+        }
+    }
+
+    pub fn run(mut self) -> RunResult {
+        let horizon = Time::from_millis(self.params.horizon_ms);
+        self.run_until(horizon);
+        self.finish()
+    }
+
+    pub fn run_until(&mut self, t: Time) {
+        let catalog = Rc::clone(&self.catalog);
+        let params = Rc::clone(&self.params);
+        let bootstrap = Rc::clone(&self.bootstrap);
+        let origins = self.origins.clone();
+        let mode = self.mode;
+        let mut rng = self.engine_rng.clone();
+        self.world.run(t, |world, control| match control {
+            SqControl::Spawn {
+                website,
+                lifetime_ms,
+            } => {
+                let at = world.topology().sample_point(&mut rng);
+                let origin = origins[website.0 as usize];
+                let origin_latency_ms = world.topology().latency_between(at, origin);
+                let pcx = SqCtx {
+                    catalog: Rc::clone(&catalog),
+                    params: Rc::clone(&params),
+                    bootstrap: Rc::clone(&bootstrap),
+                    website,
+                    origin_latency_ms,
+                    mode,
+                };
+                let seed = bootstrap.borrow().pick(&mut rng, &[]);
+                let Some(seed) = seed else {
+                    return; // overlay empty: the arrival is lost
+                };
+                let id = world.spawn(at, |me, _loc| SquirrelPeer::arriving(pcx, me, seed));
+                let fail_at = world.now() + lifetime_ms;
+                world.schedule_control(fail_at, SqControl::Fail(id));
+            }
+            SqControl::Fail(id) => {
+                world.fail(id);
+                bootstrap.borrow_mut().remove(id);
+            }
+        });
+        self.engine_rng = rng;
+    }
+
+    pub fn now(&self) -> Time {
+        self.world.now()
+    }
+
+    /// Manually spawn a client peer interested in `website`, placed in
+    /// `locality`, with no scheduled failure (protocol tests drive churn
+    /// themselves).
+    pub fn spawn_client(
+        &mut self,
+        website: WebsiteId,
+        locality: simnet::LocalityId,
+    ) -> NodeId {
+        let at = self
+            .world
+            .topology()
+            .sample_point_in(locality, &mut self.engine_rng);
+        let pcx = self.peer_ctx(website, at);
+        let seed = self
+            .bootstrap
+            .borrow()
+            .pick(&mut self.engine_rng, &[])
+            .expect("overlay non-empty");
+        self.world
+            .spawn(at, |me, _loc| SquirrelPeer::arriving(pcx, me, seed))
+    }
+
+    /// Failure injection (tests).
+    pub fn fail_peer(&mut self, id: NodeId) {
+        self.world.fail(id);
+        self.bootstrap.borrow_mut().remove(id);
+    }
+
+    /// The live node currently owning `key` per ring geometry (tests):
+    /// smallest clockwise distance from the key.
+    pub fn ring_owner_of(&self, key: ChordId) -> Option<NodeId> {
+        self.world
+            .live_nodes()
+            .filter(|(_, n)| n.chord.is_joined())
+            .map(|(id, n)| (id, key.distance_to(n.chord.me().id)))
+            .min_by_key(|&(_, d)| d)
+            .map(|(id, _)| id)
+    }
+
+    /// Ring-health probe for diagnostics: fraction of live joined nodes
+    /// whose successor pointer is exactly the next live joined node, plus
+    /// counts of stranded and predecessor-less nodes.
+    pub fn ring_health(&self) -> (f64, usize, usize) {
+        let mut members: Vec<(ChordId, NodeId, NodeRef, bool, bool)> = self
+            .world
+            .live_nodes()
+            .filter(|(_, n)| n.chord.is_joined())
+            .map(|(id, n)| {
+                (
+                    n.chord.me().id,
+                    id,
+                    n.chord.successor(),
+                    n.chord.is_stranded(),
+                    n.chord.predecessor().is_none(),
+                )
+            })
+            .collect();
+        members.sort_by_key(|m| m.0 .0);
+        let n = members.len();
+        if n == 0 {
+            return (1.0, 0, 0);
+        }
+        let mut ok = 0usize;
+        for (i, m) in members.iter().enumerate() {
+            let want = members[(i + 1) % n].1;
+            if m.2.node == want {
+                ok += 1;
+            }
+        }
+        let stranded = members.iter().filter(|m| m.3).count();
+        let predless = members.iter().filter(|m| m.4).count();
+        (ok as f64 / n as f64, stranded, predless)
+    }
+
+    pub fn live_population(&self) -> usize {
+        self.world.live_count()
+    }
+
+    pub fn world(&self) -> &World<SquirrelPeer, SqControl> {
+        &self.world
+    }
+
+    pub fn drain_reports(&mut self) -> Vec<(Time, NodeId, SqReport)> {
+        self.world.drain_reports()
+    }
+
+    pub fn finish(mut self) -> RunResult {
+        use crate::peer::ProtocolEvent;
+        let peak = self.world.live_count();
+        let messages_delivered = self.world.stats().delivered;
+        let mut records = Vec::new();
+        let mut events: std::collections::BTreeMap<ProtocolEvent, u64> =
+            std::collections::BTreeMap::new();
+        for (_, _, r) in self.world.drain_reports() {
+            match r {
+                SqReport::Query(q) => records.push(q),
+                SqReport::Event(e) => {
+                    // Map onto the shared diagnostic vocabulary so both
+                    // systems' runs are inspectable the same way.
+                    let key = match e {
+                        SqEvent::LookupFailed => ProtocolEvent::RouteFailure,
+                        SqEvent::AnswerTimeout => ProtocolEvent::DirQueryTimeout,
+                        SqEvent::HomeEmpty => ProtocolEvent::DirNoProvider,
+                        SqEvent::FetchMiss => ProtocolEvent::FetchMiss,
+                        SqEvent::FetchTimeout => ProtocolEvent::FetchTimeout,
+                        SqEvent::AnsweredByNonOwner => ProtocolEvent::AnsweredByNonOwner,
+                    };
+                    *events.entry(key).or_default() += 1;
+                }
+            }
+        }
+        let mut stats = cdn_metrics::QueryStats::default();
+        for r in &records {
+            stats.record(r);
+        }
+        RunResult {
+            events,
+            records,
+            replacements: 0,
+            splits: 0,
+            stats,
+            peak_population: peak,
+            messages_delivered,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_squirrel_run_produces_queries_and_some_hits() {
+        let mut params = SimParams::quick(150, 2 * 3_600_000);
+        params.seed = 43;
+        let mut sim = SquirrelSim::new(params, SquirrelMode::Directory);
+        assert_eq!(sim.live_population(), 60);
+        sim.run_until(Time::from_millis(2 * 3_600_000));
+        let pop = sim.live_population();
+        assert!((75..=260).contains(&pop), "population {pop}");
+        let result = sim.finish();
+        assert!(result.records.len() > 200, "{} records", result.records.len());
+        assert!(
+            result.stats.hit_ratio() > 0.02,
+            "hit ratio {}",
+            result.stats.hit_ratio()
+        );
+        // Every query routes over the DHT — hops must be recorded.
+        assert!(result.stats.mean_dht_hops() > 0.5);
+    }
+
+    #[test]
+    fn squirrel_runs_are_deterministic() {
+        let run = || {
+            let mut params = SimParams::quick(80, 3_600_000);
+            params.seed = 11;
+            let r = SquirrelSim::new(params, SquirrelMode::Directory).run();
+            (r.records.len(), r.stats.hits)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn home_store_mode_serves_from_home_nodes() {
+        let mut params = SimParams::quick(150, 2 * 3_600_000);
+        params.seed = 44;
+        let r = SquirrelSim::new(params, SquirrelMode::HomeStore).run();
+        let home_hits = r
+            .records
+            .iter()
+            .filter(|q| q.provider == Provider::DirectoryPeer)
+            .count();
+        assert!(
+            home_hits > 10,
+            "home-store should serve from home nodes, got {home_hits}"
+        );
+    }
+}

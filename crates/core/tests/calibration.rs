@@ -1,0 +1,142 @@
+//! Manual calibration harness (run with `--ignored --nocapture`): prints
+//! the three §6 metrics for both systems at a reduced scale so the shape
+//! can be compared against the paper during development.
+
+use cdn_metrics::{QueryRecord, ResolvedVia};
+use flower_cdn::experiments::{run_comparison, shape_params};
+
+fn breakdown(records: &[QueryRecord]) {
+    for via in [
+        ResolvedVia::LocalView,
+        ResolvedVia::Directory,
+        ResolvedVia::DhtRoute,
+        ResolvedVia::DirectOrigin,
+    ] {
+        let rs: Vec<&QueryRecord> = records.iter().filter(|r| r.via == via).collect();
+        if rs.is_empty() {
+            continue;
+        }
+        let hits = rs.iter().filter(|r| r.is_hit()).count();
+        let mean_lookup: f64 =
+            rs.iter().map(|r| r.lookup_ms as f64).sum::<f64>() / rs.len() as f64;
+        let mut lookups: Vec<u64> = rs.iter().map(|r| r.lookup_ms).collect();
+        lookups.sort_unstable();
+        let p95 = lookups[lookups.len() * 95 / 100];
+        println!(
+            "    {:?}: n={} hit={:.3} lookup_mean={:.0} p95={}",
+            via,
+            rs.len(),
+            hits as f64 / rs.len() as f64,
+            mean_lookup,
+            p95
+        );
+    }
+    // hourly cumulative hit
+    let series = flower_cdn::experiments::hit_ratio_series(records, 3_600_000);
+    let pts: Vec<String> = series.iter().map(|(h, r)| format!("{h:.0}h={r:.2}")).collect();
+    println!("    cumulative: {}", pts.join(" "));
+}
+
+#[test]
+#[ignore = "manual calibration: cargo test -p flower-cdn --release --test calibration -- --ignored --nocapture"]
+fn print_comparison_shape() {
+    for &pop in &[600usize] {
+        let run = run_comparison(shape_params(pop, 7));
+        for (name, r) in [("Flower-CDN", &run.flower), ("Squirrel", &run.squirrel)] {
+            let s = &r.stats;
+            println!(
+                "P={pop} {name:<11} queries={:<6} hit={:.3} lookup={:>6.0}ms transfer={:>5.0}ms hops={:.1} repl={} splits={}",
+                s.queries,
+                s.hit_ratio(),
+                s.mean_lookup_ms(),
+                s.mean_transfer_ms(),
+                s.mean_dht_hops(),
+                r.replacements,
+                r.splits,
+            );
+            breakdown(&r.records);
+            println!("    events: {:?}", r.events);
+        }
+    }
+}
+
+#[test]
+#[ignore = "manual calibration"]
+fn print_no_churn_baseline() {
+    // Low churn: uptime = horizon → arrivals flow in but most peers
+    // survive to the end. Isolates protocol machinery from heavy churn.
+    let mut p = shape_params(600, 5);
+    p.mean_uptime_ms = p.horizon_ms;
+    let run = run_comparison(p);
+    for (name, r) in [("Flower-CDN", &run.flower), ("Squirrel", &run.squirrel)] {
+        let s = &r.stats;
+        println!(
+            "static {name:<11} queries={:<6} hit={:.3} lookup={:>6.0}ms transfer={:>5.0}ms hops={:.1}",
+            s.queries,
+            s.hit_ratio(),
+            s.mean_lookup_ms(),
+            s.mean_transfer_ms(),
+            s.mean_dht_hops(),
+        );
+        breakdown(&r.records);
+        println!("    events: {:?}", r.events);
+    }
+}
+
+#[test]
+#[ignore = "slow: population trajectory at paper scale"]
+fn print_population_trajectory() {
+    let mut p = flower_cdn::SimParams::paper_defaults(2000);
+    p.seed = 99;
+    p.horizon_ms = 6 * 3_600_000;
+    let mut flower = flower_cdn::FlowerSim::new(p.clone());
+    let mut squirrel = flower_cdn::SquirrelSim::new(p.clone(), flower_cdn::SquirrelMode::Directory);
+    for hour in 1..=6u64 {
+        let t = simnet::Time::from_hours(hour);
+        flower.run_until(t);
+        squirrel.run_until(t);
+        let joined = squirrel
+            .world()
+            .live_nodes()
+            .filter(|(_, n)| n.is_joined())
+            .count();
+        let (ok_succ, stranded, predless) = squirrel.ring_health();
+        println!(
+            "hour {hour}: flower pop={} dirs={} | squirrel pop={} joined={} succ_ok={:.2} stranded={} predless={}",
+            flower.live_population(),
+            flower.directory_count(),
+            squirrel.live_population(),
+            joined,
+            ok_succ,
+            stranded,
+            predless,
+        );
+    }
+}
+
+#[test]
+#[ignore = "slow: full paper-scale row of Table 2"]
+fn print_paper_scale_p2000() {
+    let mut p = flower_cdn::SimParams::paper_defaults(2000);
+    p.seed = 99;
+    let run = run_comparison(p);
+    for (name, r) in [("Flower-CDN", &run.flower), ("Squirrel", &run.squirrel)] {
+        let s = &r.stats;
+        println!(
+            "P=2000 {name:<11} queries={:<6} hit={:.3} lookup={:>6.0}ms transfer={:>5.0}ms hops={:.1} repl={} splits={}",
+            s.queries, s.hit_ratio(), s.mean_lookup_ms(), s.mean_transfer_ms(),
+            s.mean_dht_hops(), r.replacements, r.splits,
+        );
+        breakdown(&r.records);
+        println!("    events: {:?}", r.events);
+    }
+}
+
+#[test]
+#[ignore = "manual trace"]
+fn trace_squirrel_hot_object() {
+    let mut p = shape_params(600, 21);
+    p.horizon_ms = 2 * 3_600_000;
+    let r = flower_cdn::SquirrelSim::new(p, flower_cdn::SquirrelMode::Directory).run();
+    println!("hit={:.3}", r.stats.hit_ratio());
+}

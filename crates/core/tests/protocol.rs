@@ -1,0 +1,235 @@
+//! Deterministic micro-scenarios driving the Flower-CDN peer protocol
+//! through the engine with manual spawns and a churn-free background —
+//! each test isolates one §3–§5 mechanism.
+
+use flower_cdn::{DirPosition, FlowerSim, SimParams};
+use simnet::{LocalityId, Time};
+use workload::WebsiteId;
+
+/// One website, one locality, no natural churn: a single petal under a
+/// single initial directory, fully under test control.
+fn single_petal_params(seed: u64) -> SimParams {
+    let horizon = 2 * 3_600_000;
+    let mut p = SimParams::quick(10, horizon);
+    p.seed = seed;
+    // Four websites: website 0 is the petal under test; the other three
+    // directories anchor D-ring so repair protocols always have live ring
+    // members / bootstraps to route through, and the ring survives single
+    // deaths (in the paper's setting there are 600 members).
+    p.catalog.websites = 4;
+    p.catalog.active_websites = 1;
+    p.catalog.objects_per_site = 40;
+    p.topology.localities = 1;
+    // Population target tiny and uptime enormous: the Poisson arrival
+    // stream is negligible and nobody dies on its own.
+    p.mean_uptime_ms = horizon * 1_000;
+    p.query_period_ms = 120_000;
+    p.gossip_period_ms = 600_000;
+    p
+}
+
+fn petal() -> DirPosition {
+    DirPosition::base(WebsiteId(0), LocalityId(0))
+}
+
+#[test]
+fn client_joins_petal_through_dring_and_gets_indexed() {
+    let mut sim = FlowerSim::new(single_petal_params(1));
+    assert_eq!(sim.directory_count(), 4, "one directory per website");
+    let c = sim.spawn_client(WebsiteId(0), LocalityId(0));
+    // First query: routed over D-ring, misses (empty petal), fetched from
+    // the origin; the client joins the petal as a content peer.
+    sim.run_until(Time::from_mins(10));
+    let peer = sim.world().node(c).expect("client alive");
+    assert!(peer.is_content(), "client must have joined the petal");
+    assert!(peer.store_len() >= 1, "client stores what it fetched");
+    assert!(
+        peer.dir_info().is_some(),
+        "content peers remember their directory (§5.1)"
+    );
+    // The directory indexed the newcomer and its content.
+    let members = sim.petal_members(petal());
+    assert!(members.contains(&c));
+    let dir0 = sim
+        .directories()
+        .into_iter()
+        .find(|(_, p, _)| p.chord_id() == petal().chord_id())
+        .expect("website 0's directory is alive");
+    assert!(dir0.2 >= 1, "directory view includes the client");
+}
+
+#[test]
+fn second_client_is_served_by_the_first() {
+    let mut sim = FlowerSim::new(single_petal_params(2));
+    let _a = sim.spawn_client(WebsiteId(0), LocalityId(0));
+    sim.run_until(Time::from_mins(30));
+    let b = sim.spawn_client(WebsiteId(0), LocalityId(0));
+    sim.run_until(Time::from_mins(90));
+    let _ = b;
+    let result = sim.finish();
+    assert!(
+        result.stats.hits > 0,
+        "with two clients of one website, petal hits must occur \
+         (hit ratio {:.3} over {} queries)",
+        result.stats.hit_ratio(),
+        result.stats.queries
+    );
+    // Petal hits are locality-local: transfer distance well under the
+    // inter-locality range.
+    let petal_hits: Vec<_> = result
+        .records
+        .iter()
+        .filter(|r| r.is_hit() && r.via == cdn_metrics::ResolvedVia::Directory)
+        .collect();
+    for r in &petal_hits {
+        assert!(
+            r.transfer_ms <= 150,
+            "petal providers must be close: {} ms",
+            r.transfer_ms
+        );
+    }
+}
+
+#[test]
+fn directory_failure_is_repaired_by_petal_members() {
+    let mut sim = FlowerSim::new(single_petal_params(3));
+    for _ in 0..4 {
+        sim.spawn_client(WebsiteId(0), LocalityId(0));
+    }
+    sim.run_until(Time::from_mins(30));
+    let dir_of = |sim: &FlowerSim| {
+        sim.directories()
+            .into_iter()
+            .find(|(_, p, _)| p.chord_id() == petal().chord_id())
+    };
+    let (victim, _, load_before) = dir_of(&sim).expect("petal directory alive");
+    assert!(load_before >= 4);
+    sim.fail_peer(victim);
+    // Claims fire on the next keepalive/push/query contact; give a few
+    // query periods.
+    sim.run_until(Time::from_mins(60));
+    let (heir, _, _) = dir_of(&sim).expect("position re-occupied");
+    assert_ne!(heir, victim);
+    // Index rebuild (§5.2.2): survivors re-register via claim-denial full
+    // pushes, so the new index re-learns them.
+    sim.run_until(Time::from_mins(90));
+    let (_, _, load_after) = dir_of(&sim).expect("position still held");
+    assert!(load_after >= 2, "rebuilt index knows only {load_after} peers");
+    let result = sim.finish();
+    assert!(result.replacements >= 1);
+}
+
+#[test]
+fn voluntary_leave_hands_over_without_losing_the_index() {
+    let mut sim = FlowerSim::new(single_petal_params(4));
+    for _ in 0..3 {
+        sim.spawn_client(WebsiteId(0), LocalityId(0));
+    }
+    sim.run_until(Time::from_mins(30));
+    let dir_of = |sim: &FlowerSim| {
+        sim.directories()
+            .into_iter()
+            .find(|(_, p, _)| p.chord_id() == petal().chord_id())
+    };
+    let (victim, _, load) = dir_of(&sim).expect("petal directory alive");
+    assert!(load >= 3);
+    sim.leave_peer(victim);
+    sim.run_until(Time::from_mins(34));
+    let (heir, _, heir_load) = dir_of(&sim).expect("heir took the position");
+    assert_ne!(heir, victim);
+    assert!(
+        heir_load >= 2,
+        "hand-over must carry the index snapshot (§5.2.2), load {heir_load}"
+    );
+}
+
+#[test]
+fn vacant_position_takeover_by_first_client() {
+    // §5.2.2 case 2: the first client of a petal whose position is vacant
+    // becomes its directory. Kill the only directory while the petal is
+    // empty, then introduce a client.
+    let mut sim = FlowerSim::new(single_petal_params(5));
+    let victim = sim
+        .directories()
+        .into_iter()
+        .find(|(_, p, _)| p.chord_id() == petal().chord_id())
+        .expect("petal directory")
+        .0;
+    sim.fail_peer(victim);
+    sim.run_until(Time::from_mins(5));
+    assert_eq!(sim.directory_count(), 3, "the three anchors remain");
+    let c = sim.spawn_client(WebsiteId(0), LocalityId(0));
+    sim.run_until(Time::from_mins(30));
+    // §5.2.2 case 2: the client's routed query reaches the ring owner of
+    // the vacant position (an anchor directory), which grants it the
+    // takeover — the client becomes d(ws0, loc0) itself.
+    let holder = sim
+        .directories()
+        .into_iter()
+        .find(|(_, p, _)| p.chord_id() == petal().chord_id());
+    let (holder_id, _, _) = holder.expect("vacant position taken over");
+    assert_eq!(holder_id, c, "the first client takes the vacant position");
+    let result = sim.finish();
+    assert!(result.stats.queries > 0);
+    assert!(result.replacements >= 1);
+}
+
+#[test]
+fn content_survives_in_petal_after_provider_death() {
+    let mut sim = FlowerSim::new(single_petal_params(6));
+    let a = sim.spawn_client(WebsiteId(0), LocalityId(0));
+    sim.run_until(Time::from_mins(40));
+    let b = sim.spawn_client(WebsiteId(0), LocalityId(0));
+    sim.run_until(Time::from_mins(80));
+    // Kill the original provider; the directory should prune it (dead-peer
+    // reports / expiry) and late queries must not wedge.
+    sim.fail_peer(a);
+    sim.run_until(Time::from_mins(120));
+    let peer_b = sim.world().node(b).expect("b alive");
+    assert!(peer_b.store_len() > 5, "b kept querying successfully");
+}
+
+#[test]
+fn dir_info_repoints_to_replacement_across_the_petal() {
+    // §5.1/§5.2.2: after a directory replacement, surviving content peers'
+    // dir-info must converge on the new holder (via claim denials, ack
+    // identities and gossip merging).
+    let mut sim = FlowerSim::new(single_petal_params(9));
+    let mut members = Vec::new();
+    for _ in 0..4 {
+        members.push(sim.spawn_client(WebsiteId(0), LocalityId(0)));
+    }
+    sim.run_until(Time::from_mins(30));
+    let victim = sim
+        .directories()
+        .into_iter()
+        .find(|(_, p, _)| p.chord_id() == petal().chord_id())
+        .expect("petal directory")
+        .0;
+    sim.fail_peer(victim);
+    sim.run_until(Time::from_mins(75));
+    let heir = sim
+        .directories()
+        .into_iter()
+        .find(|(_, p, _)| p.chord_id() == petal().chord_id())
+        .expect("replacement holder")
+        .0;
+    let mut repointed = 0;
+    let mut alive = 0;
+    for &m in &members {
+        if m == heir {
+            continue; // promoted member no longer holds dir-info
+        }
+        if let Some(peer) = sim.world().node(m) {
+            alive += 1;
+            if peer.dir_info().is_some_and(|d| d.holder.node == heir) {
+                repointed += 1;
+            }
+        }
+    }
+    assert!(alive >= 2, "members survived");
+    assert!(
+        repointed >= alive - 1,
+        "only {repointed}/{alive} members learned the new holder"
+    );
+}

@@ -1,0 +1,252 @@
+//! Output formatting: CSV files for downstream plotting and ASCII renderings
+//! so every figure is inspectable straight from the terminal output of the
+//! bench harnesses.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Minimal CSV writer (we control all inputs; quoting handles the comma and
+/// quote cases that can occur in labels).
+pub struct Csv {
+    out: String,
+    columns: usize,
+}
+
+impl Csv {
+    pub fn new(header: &[&str]) -> Csv {
+        let mut csv = Csv {
+            out: String::new(),
+            columns: header.len(),
+        };
+        csv.row(header);
+        csv
+    }
+
+    /// Append a row; must match the header width.
+    pub fn row<S: AsRef<str>>(&mut self, fields: &[S]) -> &mut Self {
+        assert_eq!(fields.len(), self.columns, "row width mismatch");
+        for (i, f) in fields.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            self.out.push_str(&escape(f.as_ref()));
+        }
+        self.out.push('\n');
+        self
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        if let Some(dir) = path.as_ref().parent() {
+            fs::create_dir_all(dir)?;
+        }
+        fs::write(path, &self.out)
+    }
+}
+
+fn escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Render multiple `(label, series)` line plots on one ASCII canvas —
+/// used for Fig. 3 (hit ratio vs time, two systems).
+pub fn ascii_lines(
+    title: &str,
+    series: &[(&str, &[(f64, f64)])],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 16 && height >= 4);
+    let marks = ['*', '+', 'o', 'x', '#', '%'];
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (_, pts) in series {
+        for &(x, y) in *pts {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+    }
+    if !xmin.is_finite() {
+        return format!("{title}\n(no data)\n");
+    }
+    if (xmax - xmin).abs() < f64::EPSILON {
+        xmax = xmin + 1.0;
+    }
+    if (ymax - ymin).abs() < f64::EPSILON {
+        ymax = ymin + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        for &(x, y) in *pts {
+            let cx = ((x - xmin) / (xmax - xmin) * (width - 1) as f64).round() as usize;
+            let cy = ((y - ymin) / (ymax - ymin) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy;
+            grid[row][cx] = marks[si % marks.len()];
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {}", marks[i % marks.len()], name))
+        .collect();
+    let _ = writeln!(out, "legend: {}", legend.join("   "));
+    let _ = writeln!(out, "y: [{ymin:.3}, {ymax:.3}]  x: [{xmin:.1}, {xmax:.1}]");
+    for row in grid {
+        let _ = writeln!(out, "|{}", row.into_iter().collect::<String>());
+    }
+    let _ = writeln!(out, "+{}", "-".repeat(width));
+    out
+}
+
+/// Render a grouped horizontal bar chart of distribution fractions —
+/// used for Figs. 4 and 5 (per-bucket query fractions, two systems).
+pub fn ascii_bars(title: &str, labels: &[String], groups: &[(&str, Vec<f64>)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let label_w = labels.iter().map(|l| l.len()).max().unwrap_or(0).max(8);
+    let name_w = groups.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    const BAR_W: f64 = 50.0;
+    for (i, label) in labels.iter().enumerate() {
+        for (gi, (name, fracs)) in groups.iter().enumerate() {
+            let f = fracs.get(i).copied().unwrap_or(0.0);
+            let bar = "#".repeat((f * BAR_W).round() as usize);
+            let shown_label = if gi == 0 { label.as_str() } else { "" };
+            let _ = writeln!(
+                out,
+                "{shown_label:>label_w$} {name:>name_w$} |{bar} {:.1}%",
+                f * 100.0
+            );
+        }
+    }
+    out
+}
+
+/// Render an aligned text table — used for Table 2.
+pub fn ascii_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "table row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let line = |widths: &[usize]| {
+        let mut s = String::from("+");
+        for w in widths {
+            s.push_str(&"-".repeat(w + 2));
+            s.push('+');
+        }
+        s
+    };
+    let _ = writeln!(out, "{}", line(&widths));
+    let mut hdr = String::from("|");
+    for (h, w) in header.iter().zip(&widths) {
+        let _ = write!(hdr, " {h:<w$} |");
+    }
+    let _ = writeln!(out, "{hdr}");
+    let _ = writeln!(out, "{}", line(&widths));
+    for row in rows {
+        let mut r = String::from("|");
+        for (c, w) in row.iter().zip(&widths) {
+            let _ = write!(r, " {c:<w$} |");
+        }
+        let _ = writeln!(out, "{r}");
+    }
+    let _ = writeln!(out, "{}", line(&widths));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_escapes_and_shapes() {
+        let mut c = Csv::new(&["a", "b"]);
+        c.row(&["1", "plain"]);
+        c.row(&["2", "with,comma"]);
+        c.row(&["3", "with\"quote"]);
+        let s = c.as_str();
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains("\"with,comma\""));
+        assert!(s.contains("\"with\"\"quote\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn csv_rejects_ragged_rows() {
+        let mut c = Csv::new(&["a", "b"]);
+        c.row(&["only-one"]);
+    }
+
+    #[test]
+    fn csv_saves_to_disk() {
+        let dir = std::env::temp_dir().join("cdn_metrics_csv_test");
+        let path = dir.join("nested/out.csv");
+        let mut c = Csv::new(&["x"]);
+        c.row(&["1"]);
+        c.save(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, "x\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lines_renders_both_series() {
+        let a: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, i as f64 * 0.1)).collect();
+        let b: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 1.0 - i as f64 * 0.05)).collect();
+        let s = ascii_lines("test", &[("up", &a), ("down", &b)], 40, 10);
+        assert!(s.contains("* up"));
+        assert!(s.contains("+ down"));
+        assert!(s.contains('*') && s.contains('+'));
+    }
+
+    #[test]
+    fn lines_handles_empty() {
+        let s = ascii_lines("empty", &[("none", &[])], 40, 10);
+        assert!(s.contains("no data"));
+    }
+
+    #[test]
+    fn bars_show_percentages() {
+        let labels = vec!["0-100".to_string(), ">100".to_string()];
+        let s = ascii_bars(
+            "dist",
+            &labels,
+            &[("sysA", vec![0.62, 0.38]), ("sysB", vec![0.22, 0.78])],
+        );
+        assert!(s.contains("62.0%"));
+        assert!(s.contains("78.0%"));
+        assert!(s.contains("sysA") && s.contains("sysB"));
+    }
+
+    #[test]
+    fn table_aligns() {
+        let s = ascii_table(
+            "t",
+            &["P", "approach", "hit"],
+            &[
+                vec!["2000".into(), "Squirrel".into(), "0.35".into()],
+                vec!["2000".into(), "Flower-CDN".into(), "0.63".into()],
+            ],
+        );
+        assert!(s.contains("| 2000"));
+        assert!(s.contains("Flower-CDN"));
+        assert_eq!(s.lines().filter(|l| l.starts_with('+')).count(), 3);
+    }
+}

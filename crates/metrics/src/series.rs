@@ -1,0 +1,145 @@
+//! Time-bucketed series for "evolution of hit ratio with time" (Figure 3).
+
+use crate::query::QueryRecord;
+
+/// Accumulates (hits, total) per fixed-width time bucket and renders either
+/// the per-bucket or the cumulative hit-ratio curve. The paper's Fig. 3
+/// shows hit ratio *improving over 24 hours* and quotes the end-of-run
+/// value, which corresponds to the cumulative reading.
+#[derive(Debug, Clone)]
+pub struct HitRatioSeries {
+    bucket_ms: u64,
+    hits: Vec<u64>,
+    totals: Vec<u64>,
+}
+
+impl HitRatioSeries {
+    pub fn new(bucket_ms: u64) -> HitRatioSeries {
+        assert!(bucket_ms > 0);
+        HitRatioSeries {
+            bucket_ms,
+            hits: Vec::new(),
+            totals: Vec::new(),
+        }
+    }
+
+    pub fn bucket_ms(&self) -> u64 {
+        self.bucket_ms
+    }
+
+    pub fn record(&mut self, q: &QueryRecord) {
+        self.record_at(q.issued_at_ms, q.is_hit());
+    }
+
+    pub fn record_at(&mut self, at_ms: u64, hit: bool) {
+        let idx = (at_ms / self.bucket_ms) as usize;
+        if idx >= self.totals.len() {
+            self.totals.resize(idx + 1, 0);
+            self.hits.resize(idx + 1, 0);
+        }
+        self.totals[idx] += 1;
+        if hit {
+            self.hits[idx] += 1;
+        }
+    }
+
+    /// Number of buckets touched.
+    pub fn len(&self) -> usize {
+        self.totals.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.totals.is_empty()
+    }
+
+    /// `(bucket_end_ms, ratio)` per bucket; buckets with no queries carry
+    /// the previous ratio (flat segments, as a plotter would draw them).
+    pub fn per_bucket(&self) -> Vec<(u64, f64)> {
+        let mut out = Vec::with_capacity(self.totals.len());
+        let mut last = 0.0;
+        for (i, (&h, &t)) in self.hits.iter().zip(&self.totals).enumerate() {
+            if t > 0 {
+                last = h as f64 / t as f64;
+            }
+            out.push(((i as u64 + 1) * self.bucket_ms, last));
+        }
+        out
+    }
+
+    /// `(bucket_end_ms, cumulative_ratio)` per bucket.
+    pub fn cumulative(&self) -> Vec<(u64, f64)> {
+        let mut out = Vec::with_capacity(self.totals.len());
+        let mut h_acc = 0u64;
+        let mut t_acc = 0u64;
+        for (i, (&h, &t)) in self.hits.iter().zip(&self.totals).enumerate() {
+            h_acc += h;
+            t_acc += t;
+            let r = if t_acc == 0 {
+                0.0
+            } else {
+                h_acc as f64 / t_acc as f64
+            };
+            out.push(((i as u64 + 1) * self.bucket_ms, r));
+        }
+        out
+    }
+
+    /// Final cumulative hit ratio.
+    pub fn final_ratio(&self) -> f64 {
+        let h: u64 = self.hits.iter().sum();
+        let t: u64 = self.totals.iter().sum();
+        if t == 0 {
+            0.0
+        } else {
+            h as f64 / t as f64
+        }
+    }
+
+    /// Total queries recorded.
+    pub fn total_queries(&self) -> u64 {
+        self.totals.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_accumulate_by_time() {
+        let mut s = HitRatioSeries::new(100);
+        s.record_at(10, true);
+        s.record_at(20, false);
+        s.record_at(150, true);
+        s.record_at(350, true);
+        assert_eq!(s.len(), 4);
+        let pb = s.per_bucket();
+        assert_eq!(pb[0], (100, 0.5));
+        assert_eq!(pb[1], (200, 1.0));
+        // Empty bucket 2 carries the last ratio.
+        assert_eq!(pb[2], (300, 1.0));
+        assert_eq!(pb[3], (400, 1.0));
+    }
+
+    #[test]
+    fn cumulative_is_running_ratio() {
+        let mut s = HitRatioSeries::new(100);
+        s.record_at(10, false);
+        s.record_at(110, true);
+        s.record_at(210, true);
+        let c = s.cumulative();
+        assert_eq!(c[0].1, 0.0);
+        assert_eq!(c[1].1, 0.5);
+        assert!((c[2].1 - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.final_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.total_queries(), 3);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = HitRatioSeries::new(1_000);
+        assert!(s.is_empty());
+        assert_eq!(s.final_ratio(), 0.0);
+        assert!(s.cumulative().is_empty());
+    }
+}

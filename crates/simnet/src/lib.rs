@@ -1,0 +1,246 @@
+//! # simnet — deterministic discrete-event network simulator
+//!
+//! A small, deterministic, single-threaded event-driven network simulator in
+//! the spirit of PeerSim's event-driven engine, which the Flower-CDN paper
+//! used for its evaluation. It models:
+//!
+//! * a virtual clock in milliseconds ([`Time`]),
+//! * per-link one-way latencies derived from a synthetic 2-D topology with
+//!   landmark-based locality binning ([`topology::Topology`]),
+//! * message passing with delivery delay and silent loss to dead nodes,
+//! * per-node timers,
+//! * node lifecycle: spawn, silent fail (churn), graceful leave,
+//! * measurement reports collected out-of-band.
+//!
+//! Like PeerSim as configured in the paper (§6.1), it deliberately does
+//! **not** model bandwidth or CPU contention — only link latency.
+//!
+//! Protocol implementations are *sans-io*: they implement [`Node`] and speak
+//! to the world only through the [`Ctx`] handed to their callbacks, which
+//! makes every protocol unit-testable without a network.
+
+pub mod time;
+pub mod topology;
+pub mod world;
+
+pub use time::Time;
+pub use topology::{LatencyModel, LocalityId, Point, Topology, TopologyConfig};
+pub use world::{Ctx, Node, NodeId, World, WorldStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    /// A node that pings a peer on a timer and counts replies; used to
+    /// exercise delivery, latency, timers, failure-dropping and reports.
+    struct Pinger {
+        peer: Option<NodeId>,
+        pongs: u32,
+        sent_at: Option<Time>,
+    }
+
+    #[derive(Clone)]
+    enum Msg {
+        Ping,
+        Pong,
+    }
+
+    #[derive(Clone)]
+    enum Tmr {
+        Fire,
+    }
+
+    /// Report: round-trip time of a ping.
+    struct Rtt(u64);
+
+    impl Node for Pinger {
+        type Msg = Msg;
+        type Timer = Tmr;
+        type Report = Rtt;
+
+        fn on_start(&mut self, ctx: &mut Ctx<Self>) {
+            if self.peer.is_some() {
+                ctx.set_timer(100, Tmr::Fire);
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<Self>, from: NodeId, msg: Msg) {
+            match msg {
+                Msg::Ping => ctx.send(from, Msg::Pong),
+                Msg::Pong => {
+                    self.pongs += 1;
+                    if let Some(t) = self.sent_at.take() {
+                        ctx.report(Rtt(ctx.now() - t));
+                    }
+                }
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<Self>, Tmr::Fire: Tmr) {
+            if let Some(p) = self.peer {
+                self.sent_at = Some(ctx.now());
+                ctx.send(p, Msg::Ping);
+                ctx.set_timer(1_000, Tmr::Fire);
+            }
+        }
+    }
+
+    fn new_world(seed: u64) -> World<Pinger, ()> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let topo = Topology::new(TopologyConfig::default(), &mut rng);
+        World::new(topo, seed)
+    }
+
+    fn spawn_pair(world: &mut World<Pinger, ()>) -> (NodeId, NodeId) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let p = world.topology().sample_point(&mut rng);
+        let b = world.spawn(p, |_, _| Pinger {
+            peer: None,
+            pongs: 0,
+            sent_at: None,
+        });
+        let q = world.topology().sample_point(&mut rng);
+        let a = world.spawn(q, |_, _| Pinger {
+            peer: Some(b),
+            pongs: 0,
+            sent_at: None,
+        });
+        (a, b)
+    }
+
+    #[test]
+    fn ping_pong_round_trips_match_topology_latency() {
+        let mut world = new_world(1);
+        let (a, b) = spawn_pair(&mut world);
+        world.run(Time::from_secs(5), |_, ()| {});
+        let pongs = world.node(a).unwrap().pongs;
+        assert!(pongs >= 4, "expected ~5 pings, got {pongs}");
+        let lat = world.topology().latency(a, b).max(1);
+        for (_, id, Rtt(rtt)) in world.drain_reports() {
+            assert_eq!(id, a);
+            assert_eq!(rtt, 2 * lat, "RTT must equal twice the one-way latency");
+        }
+    }
+
+    #[test]
+    fn messages_to_failed_nodes_are_dropped() {
+        let mut world = new_world(2);
+        let (a, b) = spawn_pair(&mut world);
+        world.run(Time::from_millis(50), |_, ()| {});
+        world.fail(b);
+        assert!(!world.is_live(b));
+        world.run(Time::from_secs(5), |_, ()| {});
+        assert_eq!(world.node(a).unwrap().pongs, 0, "peer died before first ping");
+        assert!(world.stats().dropped > 0);
+    }
+
+    #[test]
+    fn control_events_fire_in_order_and_can_mutate_world() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let topo = Topology::new(TopologyConfig::default(), &mut rng);
+        let mut world: World<Pinger, u32> = World::new(topo, 3);
+        let mut seen = Vec::new();
+        world.schedule_control(Time::from_secs(2), 2u32);
+        world.schedule_control(Time::from_secs(1), 1u32);
+        world.schedule_control(Time::from_secs(3), 3u32);
+        world.run(Time::from_secs(10), |w, c| {
+            seen.push((w.now(), c));
+            if c == 2 {
+                let p = Point::new(500.0, 500.0);
+                w.spawn(p, |_, _| Pinger {
+                    peer: None,
+                    pongs: 0,
+                    sent_at: None,
+                });
+            }
+        });
+        assert_eq!(
+            seen.iter().map(|&(_, c)| c).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(world.live_count(), 1);
+        assert_eq!(world.now(), Time::from_secs(10), "clock advances to horizon");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed: u64| {
+            let mut world = new_world(seed);
+            let (a, _b) = spawn_pair(&mut world);
+            world.run(Time::from_secs(30), |_, ()| {});
+            let r: u64 = world.rng().gen();
+            (world.node(a).unwrap().pongs, world.stats(), r)
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).2, run(43).2);
+    }
+
+    #[test]
+    fn graceful_leave_runs_on_leave_and_removes() {
+        struct Leaver {
+            notify: Option<NodeId>,
+        }
+        impl Node for Leaver {
+            type Msg = u8;
+            type Timer = ();
+            type Report = ();
+            fn on_start(&mut self, _ctx: &mut Ctx<Self>) {}
+            fn on_message(&mut self, _ctx: &mut Ctx<Self>, _f: NodeId, _m: u8) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<Self>, _t: ()) {}
+            fn on_leave(&mut self, ctx: &mut Ctx<Self>) {
+                if let Some(n) = self.notify {
+                    ctx.send(n, 7);
+                }
+            }
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let topo = Topology::new(TopologyConfig::default(), &mut rng);
+        let mut world: World<Leaver, ()> = World::new(topo, 5);
+        let a = world.spawn(Point::new(100.0, 100.0), |_, _| Leaver { notify: None });
+        let b = world.spawn(Point::new(110.0, 110.0), |_, _| Leaver { notify: Some(a) });
+        world.leave(b);
+        assert!(!world.is_live(b));
+        world.run(Time::from_secs(1), |_, ()| {});
+        assert!(world.stats().delivered >= 1, "farewell message was delivered");
+    }
+
+    #[test]
+    fn node_ids_are_never_reused() {
+        let mut world = new_world(6);
+        let (a, b) = spawn_pair(&mut world);
+        world.fail(a);
+        world.fail(b);
+        let c = world.spawn(Point::new(1.0, 1.0), |_, _| Pinger {
+            peer: None,
+            pongs: 0,
+            sent_at: None,
+        });
+        assert!(c.index() > b.index().max(a.index()));
+        assert_eq!(world.stats().spawned, 3);
+        assert_eq!(world.stats().removed, 2);
+    }
+
+    #[test]
+    fn stop_self_removes_node_after_callback() {
+        struct Quitter;
+        impl Node for Quitter {
+            type Msg = ();
+            type Timer = ();
+            type Report = ();
+            fn on_start(&mut self, ctx: &mut Ctx<Self>) {
+                ctx.set_timer(10, ());
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<Self>, _f: NodeId, _m: ()) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<Self>, _t: ()) {
+                ctx.stop();
+            }
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let topo = Topology::new(TopologyConfig::default(), &mut rng);
+        let mut world: World<Quitter, ()> = World::new(topo, 8);
+        let a = world.spawn(Point::new(0.0, 0.0), |_, _| Quitter);
+        world.run(Time::from_secs(1), |_, ()| {});
+        assert!(!world.is_live(a));
+    }
+}

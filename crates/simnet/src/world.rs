@@ -1,0 +1,412 @@
+//! The discrete-event simulation world.
+//!
+//! A [`World`] owns a set of protocol nodes (anything implementing [`Node`]),
+//! a [`Topology`] that prices each link in milliseconds, a single seeded RNG,
+//! and a time-ordered event queue. It is strictly single-threaded and fully
+//! deterministic: the same seed and the same schedule of control events
+//! produce bit-identical runs (ties in the queue are broken by insertion
+//! sequence number).
+//!
+//! Nodes are *sans-io*: they only interact with the world through the
+//! [`Ctx`] handed to their callbacks, which records sends, timers and report
+//! emissions to be applied after the callback returns.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::topology::{LocalityId, Point, Topology};
+use crate::Time;
+
+/// Dense identifier of a node in a [`World`]. Ids are never reused: a peer
+/// that fails and later "re-joins" (churn) is a brand-new node with a fresh
+/// id, matching the paper's model where a re-joining peer starts cold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    pub fn from_index(i: usize) -> NodeId {
+        NodeId(i as u64)
+    }
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A protocol participant. Implementations hold all per-peer protocol state;
+/// the associated types define the node's wire messages, timer tags and the
+/// measurement records it emits.
+pub trait Node {
+    /// Wire message type exchanged between nodes of this world.
+    type Msg: Clone;
+    /// Timer tag type delivered back by [`Ctx::set_timer`].
+    type Timer: Clone;
+    /// Measurement record type collected by the experiment engine.
+    type Report;
+
+    /// Called once when the node is spawned.
+    fn on_start(&mut self, ctx: &mut Ctx<Self>);
+
+    /// Called when a message from `from` arrives.
+    fn on_message(&mut self, ctx: &mut Ctx<Self>, from: NodeId, msg: Self::Msg);
+
+    /// Called when a timer set via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<Self>, timer: Self::Timer);
+
+    /// Called when the node leaves *gracefully* (it may send farewell
+    /// messages). Silent failures — the paper's worst case — skip this.
+    fn on_leave(&mut self, _ctx: &mut Ctx<Self>) {}
+}
+
+/// Execution context passed to node callbacks. Collects the node's outputs
+/// (sends, timers, reports) and exposes the node's identity, the current
+/// time, its locality and the world RNG.
+pub struct Ctx<'a, N: Node + ?Sized> {
+    now: Time,
+    me: NodeId,
+    locality: LocalityId,
+    /// The world's deterministic RNG, shared by all nodes.
+    pub rng: &'a mut StdRng,
+    sends: Vec<(NodeId, N::Msg)>,
+    timers: Vec<(u64, N::Timer)>,
+    reports: Vec<N::Report>,
+    stop_self: bool,
+}
+
+impl<'a, N: Node + ?Sized> Ctx<'a, N> {
+    /// The current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// This node's id.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// This node's physical locality (landmark bin).
+    pub fn locality(&self) -> LocalityId {
+        self.locality
+    }
+
+    /// Send `msg` to `to`. Delivery is delayed by the topology's one-way
+    /// link latency; messages to nodes that are dead *at delivery time* are
+    /// silently dropped (the sender learns of failures only via timeouts,
+    /// as in a real network).
+    pub fn send(&mut self, to: NodeId, msg: N::Msg) {
+        self.sends.push((to, msg));
+    }
+
+    /// Arrange for `timer` to be delivered to this node after `delay_ms`.
+    pub fn set_timer(&mut self, delay_ms: u64, timer: N::Timer) {
+        self.timers.push((delay_ms, timer));
+    }
+
+    /// Emit a measurement record for the experiment engine.
+    pub fn report(&mut self, r: N::Report) {
+        self.reports.push(r);
+    }
+
+    /// Remove this node from the world after the callback returns (used by
+    /// protocols that decide to retire a peer, e.g. a voluntary leave).
+    pub fn stop(&mut self) {
+        self.stop_self = true;
+    }
+}
+
+/// A control event scheduled by the experiment engine; delivered to the
+/// engine's callback rather than to any node. Churn (spawns and failures)
+/// and workload injection are driven through these.
+enum EventKind<M, T, C> {
+    Deliver { to: NodeId, from: NodeId, msg: M },
+    Timer { node: NodeId, timer: T },
+    Control(C),
+}
+
+struct QueuedEvent<M, T, C> {
+    at: Time,
+    seq: u64,
+    kind: EventKind<M, T, C>,
+}
+
+impl<M, T, C> PartialEq for QueuedEvent<M, T, C> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M, T, C> Eq for QueuedEvent<M, T, C> {}
+impl<M, T, C> PartialOrd for QueuedEvent<M, T, C> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M, T, C> Ord for QueuedEvent<M, T, C> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Statistics about a finished (or in-progress) run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorldStats {
+    /// Messages delivered to live nodes.
+    pub delivered: u64,
+    /// Messages dropped because the destination was dead at delivery time.
+    pub dropped: u64,
+    /// Timer events fired.
+    pub timers: u64,
+    /// Control events dispatched.
+    pub controls: u64,
+    /// Nodes spawned over the lifetime of the world.
+    pub spawned: u64,
+    /// Nodes removed (failed or left).
+    pub removed: u64,
+}
+
+/// Min-heap of pending events, keyed by (time, sequence).
+type EventQueue<N, C> =
+    BinaryHeap<Reverse<QueuedEvent<<N as Node>::Msg, <N as Node>::Timer, C>>>;
+
+/// The simulation world. `N` is the node implementation and `C` the
+/// engine-level control event type.
+pub struct World<N: Node, C> {
+    now: Time,
+    seq: u64,
+    queue: EventQueue<N, C>,
+    nodes: Vec<Option<N>>,
+    topology: Topology,
+    rng: StdRng,
+    reports: Vec<(Time, NodeId, N::Report)>,
+    stats: WorldStats,
+}
+
+impl<N: Node, C> World<N, C> {
+    /// Create an empty world over `topology`, seeding the deterministic RNG.
+    pub fn new(topology: Topology, seed: u64) -> World<N, C> {
+        World {
+            now: Time::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            topology,
+            rng: StdRng::seed_from_u64(seed),
+            reports: Vec::new(),
+            stats: WorldStats::default(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The topology (latencies, localities, coordinates).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Mutable access to the world RNG (for engine-level sampling).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> WorldStats {
+        self.stats
+    }
+
+    /// Number of currently-live nodes.
+    pub fn live_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// Whether `id` is currently live.
+    pub fn is_live(&self, id: NodeId) -> bool {
+        self.nodes.get(id.index()).is_some_and(|n| n.is_some())
+    }
+
+    /// Immutable view of a live node's state (for assertions and metrics).
+    pub fn node(&self, id: NodeId) -> Option<&N> {
+        self.nodes.get(id.index()).and_then(|n| n.as_ref())
+    }
+
+    /// Mutable access to a live node's state. Engines use this for direct
+    /// state inspection/mutation outside the message path (e.g. seeding).
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut N> {
+        self.nodes.get_mut(id.index()).and_then(|n| n.as_mut())
+    }
+
+    /// Iterate over `(id, node)` for every live node.
+    pub fn live_nodes(&self) -> impl Iterator<Item = (NodeId, &N)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|n| (NodeId::from_index(i), n)))
+    }
+
+    /// The id the *next* spawned node will get. Engines may use this to
+    /// construct a node that knows its own id.
+    pub fn next_id(&self) -> NodeId {
+        NodeId::from_index(self.nodes.len())
+    }
+
+    /// Spawn a node at coordinate `at`. Returns its id and locality; the
+    /// node's `on_start` runs immediately (at the current virtual time).
+    pub fn spawn(&mut self, at: Point, make: impl FnOnce(NodeId, LocalityId) -> N) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        let loc = self.topology.register(id, at);
+        self.nodes.push(Some(make(id, loc)));
+        self.stats.spawned += 1;
+        self.with_node(id, |node, ctx| node.on_start(ctx));
+        id
+    }
+
+    /// Silently fail a node: it vanishes without notice, all its pending
+    /// timers are discarded on delivery, and in-flight messages to it are
+    /// dropped. This is the paper's churn model ("a peer always fails and
+    /// never leaves normally").
+    pub fn fail(&mut self, id: NodeId) {
+        if let Some(slot) = self.nodes.get_mut(id.index()) {
+            if slot.take().is_some() {
+                self.stats.removed += 1;
+            }
+        }
+    }
+
+    /// Gracefully remove a node: its `on_leave` runs first (it may send
+    /// hand-over messages), then it is removed.
+    pub fn leave(&mut self, id: NodeId) {
+        if self.is_live(id) {
+            self.with_node(id, |node, ctx| node.on_leave(ctx));
+            self.fail(id);
+            self.stats.removed -= 1; // fail() counted it; keep one count
+            self.stats.removed += 1;
+        }
+    }
+
+    /// Schedule a control event for the engine callback at absolute time
+    /// `at` (clamped to now if already past).
+    pub fn schedule_control(&mut self, at: Time, c: C) {
+        let at = at.max(self.now);
+        let seq = self.bump_seq();
+        self.queue.push(Reverse(QueuedEvent {
+            at,
+            seq,
+            kind: EventKind::Control(c),
+        }));
+    }
+
+    /// Drain all reports emitted since the last call.
+    pub fn drain_reports(&mut self) -> Vec<(Time, NodeId, N::Report)> {
+        std::mem::take(&mut self.reports)
+    }
+
+    /// Run the event loop until the queue is empty or virtual time exceeds
+    /// `until`. Control events are handed to `on_control` together with
+    /// `&mut self` so the engine can spawn/fail nodes and inject workload.
+    pub fn run(&mut self, until: Time, mut on_control: impl FnMut(&mut Self, C)) {
+        while let Some(at) = self.queue.peek().map(|Reverse(e)| e.at) {
+            if at > until {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("non-empty");
+            self.now = ev.at;
+            match ev.kind {
+                EventKind::Deliver { to, from, msg } => {
+                    if self.is_live(to) {
+                        self.stats.delivered += 1;
+                        self.with_node(to, |node, ctx| node.on_message(ctx, from, msg));
+                    } else {
+                        self.stats.dropped += 1;
+                    }
+                }
+                EventKind::Timer { node, timer } => {
+                    if self.is_live(node) {
+                        self.stats.timers += 1;
+                        self.with_node(node, |n, ctx| n.on_timer(ctx, timer));
+                    }
+                }
+                EventKind::Control(c) => {
+                    self.stats.controls += 1;
+                    on_control(self, c);
+                }
+            }
+        }
+        if self.now < until {
+            self.now = until;
+        }
+    }
+
+    fn bump_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Run `f` against node `id` with a fresh `Ctx`, then apply the
+    /// collected actions (sends priced by topology latency, timers, reports).
+    fn with_node(&mut self, id: NodeId, f: impl FnOnce(&mut N, &mut Ctx<'_, N>)) {
+        let locality = self.topology.locality(id);
+        let Some(slot) = self.nodes.get_mut(id.index()) else {
+            return;
+        };
+        let Some(node) = slot.as_mut() else {
+            return;
+        };
+        let mut ctx = Ctx {
+            now: self.now,
+            me: id,
+            locality,
+            rng: &mut self.rng,
+            sends: Vec::new(),
+            timers: Vec::new(),
+            reports: Vec::new(),
+            stop_self: false,
+        };
+        f(node, &mut ctx);
+        let Ctx {
+            sends,
+            timers,
+            reports,
+            stop_self,
+            ..
+        } = ctx;
+        for (to, msg) in sends {
+            let delay = self.topology.latency(id, to).max(1);
+            let at = self.now + delay;
+            let seq = self.bump_seq();
+            self.queue.push(Reverse(QueuedEvent {
+                at,
+                seq,
+                kind: EventKind::Deliver { to, from: id, msg },
+            }));
+        }
+        for (delay, timer) in timers {
+            let at = self.now + delay.max(1);
+            let seq = self.bump_seq();
+            self.queue.push(Reverse(QueuedEvent {
+                at,
+                seq,
+                kind: EventKind::Timer { node: id, timer },
+            }));
+        }
+        for r in reports {
+            self.reports.push((self.now, id, r));
+        }
+        if stop_self {
+            self.fail(id);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests over the simulator's foundational invariants: event
+//! ordering, latency geometry and locality binning.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simnet::{Ctx, LocalityId, Node, NodeId, Time, Topology, TopologyConfig, World};
+
+/// A node that relays a counter along a fixed chain and stamps times.
+struct Relay {
+    next: Option<NodeId>,
+    start: bool,
+    received: Vec<(u64, Time)>,
+}
+
+impl Node for Relay {
+    type Msg = u64;
+    type Timer = ();
+    type Report = ();
+    fn on_start(&mut self, ctx: &mut Ctx<Self>) {
+        if self.start {
+            ctx.set_timer(5, ());
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<Self>, _from: NodeId, msg: u64) {
+        self.received.push((msg, ctx.now()));
+        if let Some(next) = self.next {
+            ctx.send(next, msg + 1);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<Self>, _t: ()) {
+        if let Some(next) = self.next {
+            ctx.send(next, 1);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Messages relayed along a chain arrive exactly once per hop, in
+    /// causal order, with non-decreasing timestamps matching the link
+    /// latencies.
+    #[test]
+    fn prop_chain_delivery_is_causal(seed: u64, hops in 2usize..10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = Topology::new(TopologyConfig::default(), &mut rng);
+        let mut world: World<Relay, ()> = World::new(topo, seed);
+        let mut place_rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let mut ids = Vec::new();
+        for i in 0..hops {
+            let p = world.topology().sample_point(&mut place_rng);
+            ids.push(world.spawn(p, |_, _| Relay {
+                next: None,
+                start: i == 0,
+                received: Vec::new(),
+            }));
+        }
+        for i in 0..hops - 1 {
+            let next = ids[i + 1];
+            world.node_mut(ids[i]).unwrap().next = Some(next);
+        }
+        world.run(Time::from_secs(60), |_, ()| {});
+        let mut last_time = Time::ZERO;
+        for (i, &id) in ids.iter().enumerate().skip(1) {
+            let relay = world.node(id).unwrap();
+            prop_assert_eq!(relay.received.len(), 1, "hop {} deliveries", i);
+            let (counter, at) = relay.received[0];
+            prop_assert_eq!(counter, i as u64, "counter at hop {}", i);
+            prop_assert!(at > last_time, "timestamps strictly increase");
+            let link = world.topology().latency(ids[i - 1], id).max(1);
+            if i >= 2 {
+                prop_assert_eq!(at.since(last_time), link, "hop {} delay", i);
+            }
+            last_time = at;
+        }
+    }
+
+    /// Latency is symmetric, bounded to the configured range, and zero
+    /// only for self-links.
+    #[test]
+    fn prop_latency_geometry(seed: u64, n in 2usize..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut topo = Topology::new(TopologyConfig::default(), &mut rng);
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| {
+                let p = topo.sample_point(&mut rng);
+                let id = NodeId::from_index(i);
+                topo.register(id, p);
+                id
+            })
+            .collect();
+        for &a in &ids {
+            prop_assert_eq!(topo.latency(a, a), 0);
+            for &b in &ids {
+                if a != b {
+                    let l = topo.latency(a, b);
+                    prop_assert_eq!(l, topo.latency(b, a));
+                    prop_assert!((10..=500).contains(&l));
+                }
+            }
+        }
+    }
+
+    /// Locality binning is deterministic and in range.
+    #[test]
+    fn prop_binning_deterministic(seed: u64, points in 1usize..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = Topology::new(TopologyConfig::default(), &mut rng);
+        for _ in 0..points {
+            let p = topo.sample_point(&mut rng);
+            let a = topo.bin(p);
+            let b = topo.bin(p);
+            prop_assert_eq!(a, b);
+            prop_assert!(a.0 < 6);
+        }
+    }
+
+    /// Sampling within a locality bins back to that locality almost
+    /// always (cluster separation).
+    #[test]
+    fn prop_in_locality_sampling(seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = Topology::new(TopologyConfig::default(), &mut rng);
+        let mut correct = 0;
+        let total = 60;
+        for i in 0..total {
+            let want = LocalityId((i % 6) as u16);
+            let p = topo.sample_point_in(want, &mut rng);
+            if topo.bin(p) == want {
+                correct += 1;
+            }
+        }
+        prop_assert!(correct * 10 >= total * 9, "{correct}/{total}");
+    }
+}
+
+/// Non-property regression: a world with no events still advances its
+/// clock to the horizon.
+#[test]
+fn empty_world_advances_clock() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let topo = Topology::new(TopologyConfig::default(), &mut rng);
+    let mut world: World<Relay, ()> = World::new(topo, 1);
+    world.run(Time::from_secs(5), |_, ()| {});
+    assert_eq!(world.now(), Time::from_secs(5));
+}

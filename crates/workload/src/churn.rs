@@ -1,0 +1,162 @@
+//! The churn model of §6.1, after Stutzbach & Rejaie's characterization:
+//!
+//! * peer uptime is exponential with mean `m` (paper: 60 minutes) — "a high
+//!   churn rate";
+//! * peers **always fail** when their lifetime expires (never leave
+//!   gracefully), the worst case for directory state;
+//! * arrivals form a Poisson process with rate `P/m`, so the live
+//!   population converges to the target `P`;
+//! * a "re-joining" peer is modelled as a fresh arrival (new identity, cold
+//!   cache), which is how the simulator realizes "a peer might re-join
+//!   multiple times during an experiment, each time with a different
+//!   uptime".
+
+use rand::Rng;
+
+use crate::dist::sample_exp;
+
+/// Churn generator parameters.
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Target steady-state live population `P`.
+    pub target_population: usize,
+    /// Mean uptime `m` in milliseconds (paper: 60 min).
+    pub mean_uptime_ms: u64,
+    /// Experiment horizon in milliseconds (paper: 24 h).
+    pub horizon_ms: u64,
+}
+
+impl ChurnConfig {
+    /// Paper defaults for population `p`.
+    pub fn paper(p: usize) -> ChurnConfig {
+        ChurnConfig {
+            target_population: p,
+            mean_uptime_ms: 60 * 60_000,
+            horizon_ms: 24 * 3_600_000,
+        }
+    }
+
+    /// Poisson arrival rate `P/m` in peers per millisecond.
+    pub fn arrival_rate_per_ms(&self) -> f64 {
+        self.target_population as f64 / self.mean_uptime_ms as f64
+    }
+}
+
+/// One peer session: the peer arrives, lives `lifetime_ms`, then fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Session {
+    pub arrival_ms: u64,
+    pub lifetime_ms: u64,
+}
+
+impl Session {
+    pub fn departure_ms(&self) -> u64 {
+        self.arrival_ms + self.lifetime_ms
+    }
+}
+
+/// Generate the full session schedule for an experiment.
+///
+/// `initial` sessions arrive at t=0 (the paper starts with 600 directory
+/// peers "which have limited uptimes"); thereafter arrivals are Poisson at
+/// `P/m`. All lifetimes are Exp(m).
+pub fn generate_sessions(cfg: &ChurnConfig, initial: usize, rng: &mut impl Rng) -> Vec<Session> {
+    let mean = cfg.mean_uptime_ms as f64;
+    let mut out = Vec::new();
+    for _ in 0..initial {
+        out.push(Session {
+            arrival_ms: 0,
+            lifetime_ms: sample_exp(rng, mean).ceil() as u64,
+        });
+    }
+    let rate = cfg.arrival_rate_per_ms();
+    let mut t = 0.0f64;
+    loop {
+        t += sample_exp(rng, 1.0 / rate);
+        if t >= cfg.horizon_ms as f64 {
+            break;
+        }
+        out.push(Session {
+            arrival_ms: t as u64,
+            lifetime_ms: sample_exp(rng, mean).ceil() as u64,
+        });
+    }
+    out
+}
+
+/// Live population at time `t` implied by a schedule (test/analysis helper).
+pub fn population_at(sessions: &[Session], t: u64) -> usize {
+    sessions
+        .iter()
+        .filter(|s| s.arrival_ms <= t && s.departure_ms() > t)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn population_converges_to_target() {
+        let cfg = ChurnConfig::paper(2_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sessions = generate_sessions(&cfg, 600, &mut rng);
+        // After warm-up (a few mean lifetimes), population ≈ P.
+        for hour in [6u64, 12, 18, 23] {
+            let p = population_at(&sessions, hour * 3_600_000);
+            let err = (p as f64 - 2_000.0).abs() / 2_000.0;
+            assert!(err < 0.10, "hour {hour}: population {p}");
+        }
+    }
+
+    #[test]
+    fn arrival_rate_matches_p_over_m() {
+        let cfg = ChurnConfig::paper(3_000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let sessions = generate_sessions(&cfg, 0, &mut rng);
+        // Expected arrivals over 24h: P/m * horizon = 3000/60min * 1440min
+        // = 72_000.
+        let want = 72_000.0;
+        let got = sessions.len() as f64;
+        assert!((got - want).abs() / want < 0.02, "{got} arrivals");
+    }
+
+    #[test]
+    fn lifetimes_are_exponential_with_mean_m() {
+        let cfg = ChurnConfig::paper(5_000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let sessions = generate_sessions(&cfg, 0, &mut rng);
+        let mean_ms: f64 = sessions.iter().map(|s| s.lifetime_ms as f64).sum::<f64>()
+            / sessions.len() as f64;
+        let want = 60.0 * 60_000.0;
+        assert!((mean_ms - want).abs() / want < 0.02, "mean uptime {mean_ms}");
+        // Median of an exponential is m·ln2 ≈ 41.6 min — churn is *heavy*:
+        // half of all peers live less than 42 minutes.
+        let mut lifetimes: Vec<u64> = sessions.iter().map(|s| s.lifetime_ms).collect();
+        lifetimes.sort_unstable();
+        let median = lifetimes[lifetimes.len() / 2] as f64;
+        assert!(
+            (median - want * std::f64::consts::LN_2).abs() / want < 0.05,
+            "median {median}"
+        );
+    }
+
+    #[test]
+    fn initial_sessions_arrive_at_zero() {
+        let cfg = ChurnConfig::paper(1_000);
+        let mut rng = StdRng::seed_from_u64(4);
+        let sessions = generate_sessions(&cfg, 600, &mut rng);
+        assert!(sessions[..600].iter().all(|s| s.arrival_ms == 0));
+        assert!(sessions[600..].iter().all(|s| s.arrival_ms > 0));
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let cfg = ChurnConfig::paper(1_000);
+        let a = generate_sessions(&cfg, 10, &mut StdRng::seed_from_u64(9));
+        let b = generate_sessions(&cfg, 10, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

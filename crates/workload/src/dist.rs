@@ -1,0 +1,213 @@
+//! Hand-rolled samplers for the distributions the paper's workload needs.
+//!
+//! We implement these ourselves (≈60 lines) instead of pulling `rand_distr`
+//! so the whole simulation depends only on a seedable RNG, and each sampler
+//! is verified by its own statistical tests.
+
+use rand::Rng;
+
+/// A Zipf(α) sampler over ranks `0..n` via inverse-CDF binary search.
+///
+/// ```
+/// use workload::Zipf;
+/// use rand::SeedableRng;
+/// let zipf = Zipf::new(500, 0.8);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 500);
+/// // Rank 0 is the most popular: p(0)/p(1) = 2^0.8.
+/// assert!(zipf.pmf(0) > zipf.pmf(1));
+/// ```
+///
+/// Breslau et al. (INFOCOM 1999) — the paper's citation for its request
+/// model — measured web request streams as Zipf-like with exponent
+/// 0.64–0.83; our default elsewhere is 0.8. Rank 0 is the most popular
+/// item; `P(rank = k) ∝ 1 / (k+1)^α`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler for `n` items with exponent `alpha`.
+    pub fn new(n: usize, alpha: f64) -> Zipf {
+        assert!(n > 0, "need at least one item");
+        assert!(alpha >= 0.0, "negative exponents are not Zipf");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is over an empty set (never true by
+    /// construction; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability mass of `rank`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        let lo = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        self.cdf[rank] - lo
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // partition_point returns the first index with cdf[i] >= u... we
+        // need cdf[i] > u to map u exactly on a boundary downward, but for
+        // continuous u the distinction has measure zero.
+        self.cdf.partition_point(|&c| c < u)
+    }
+}
+
+/// Draw from an exponential distribution with the given mean, via inverse
+/// transform. Used for peer uptimes ("we model the uptime of a peer as an
+/// exponential distribution with m = 60 minutes", §6.1), query
+/// inter-arrival gaps and Poisson-process arrival gaps.
+pub fn sample_exp(rng: &mut impl Rng, mean: f64) -> f64 {
+    assert!(mean > 0.0);
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+/// Draw the next inter-arrival gap of a Poisson process with `rate` events
+/// per unit time.
+pub fn sample_poisson_gap(rng: &mut impl Rng, rate: f64) -> f64 {
+    assert!(rate > 0.0);
+    sample_exp(rng, 1.0 / rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(500, 0.8);
+        let total: f64 = (0..500).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_rank_ratio_follows_exponent() {
+        // p(0)/p(1) must equal 2^alpha.
+        for &alpha in &[0.5, 0.8, 1.0] {
+            let z = Zipf::new(100, alpha);
+            let ratio = z.pmf(0) / z.pmf(1);
+            assert!(
+                (ratio - 2f64.powf(alpha)).abs() < 1e-9,
+                "alpha {alpha}: ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_empirical_matches_pmf() {
+        let z = Zipf::new(50, 0.8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let mut counts = [0u32; 50];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in [0usize, 1, 5, 20] {
+            let emp = f64::from(counts[k]) / n as f64;
+            let want = z.pmf(k);
+            assert!(
+                (emp - want).abs() / want < 0.05,
+                "rank {k}: empirical {emp} vs pmf {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exp_mean_is_right() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let mean = 60.0;
+        let total: f64 = (0..n).map(|_| sample_exp(&mut rng, mean)).sum();
+        let emp = total / n as f64;
+        assert!((emp - mean).abs() / mean < 0.02, "empirical mean {emp}");
+    }
+
+    #[test]
+    fn exp_memoryless_shape() {
+        // P(X > mean) should be e^-1 ≈ 0.3679.
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mean = 10.0;
+        let over = (0..n).filter(|_| sample_exp(&mut rng, mean) > mean).count();
+        let p = over as f64 / n as f64;
+        assert!((p - (-1f64).exp()).abs() < 0.01, "P(X>mean) = {p}");
+    }
+
+    #[test]
+    fn poisson_process_rate() {
+        // Count arrivals in a window; should be close to rate * window.
+        let mut rng = StdRng::seed_from_u64(4);
+        let rate = 0.05; // events per ms
+        let window = 1_000_000.0;
+        let mut t = 0.0;
+        let mut count = 0u64;
+        while t < window {
+            t += sample_poisson_gap(&mut rng, rate);
+            count += 1;
+        }
+        let want = rate * window;
+        assert!(
+            (count as f64 - want).abs() / want < 0.02,
+            "{count} arrivals vs expected {want}"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_zipf_sample_in_range(n in 1usize..2_000, alpha in 0.0f64..2.0, seed: u64) {
+            let z = Zipf::new(n, alpha);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..32 {
+                prop_assert!(z.sample(&mut rng) < n);
+            }
+        }
+
+        #[test]
+        fn prop_zipf_pmf_monotone_decreasing(n in 2usize..500, alpha in 0.01f64..2.0) {
+            let z = Zipf::new(n, alpha);
+            for k in 1..n {
+                prop_assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_exp_positive(seed: u64, mean in 0.001f64..1e6) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            prop_assert!(sample_exp(&mut rng, mean) >= 0.0);
+        }
+    }
+}

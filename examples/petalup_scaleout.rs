@@ -1,0 +1,67 @@
+//! PetalUp-CDN scale-out (§4): when a petal outgrows its directory's
+//! capacity, the directory promotes a content peer to a new instance
+//! `d^{i+1}(ws, loc)` with the successive D-ring id, and new clients are
+//! scanned along the instance chain to an underloaded instance.
+//!
+//! We concentrate a large audience on ONE website with a LOW directory
+//! capacity and watch the instance chain grow while per-instance load
+//! stays bounded.
+//!
+//! ```sh
+//! cargo run --release --example petalup_scaleout
+//! ```
+
+use flower_cdn::{FlowerSim, SimParams};
+use simnet::Time;
+
+fn main() {
+    let horizon = 2 * 3_600_000u64;
+    let mut params = SimParams::quick(500, horizon);
+    params.seed = 3;
+    // One website absorbs everyone; tiny per-instance capacity forces
+    // splits (the paper's petals stay under 30, so we lower the limit to
+    // see the machinery at small scale).
+    params.catalog.websites = 1;
+    params.catalog.active_websites = 1;
+    params.catalog.objects_per_site = 300;
+    params.directory_capacity = 8;
+    // Light churn so petals actually grow.
+    params.mean_uptime_ms = horizon;
+
+    let capacity = params.directory_capacity;
+    let mut sim = FlowerSim::new(params);
+    println!("directory capacity limit: {capacity} content peers/instance");
+    println!();
+    println!(
+        "{:>6} {:>12} {:>11} {:>13} {:>10}",
+        "minute", "population", "instances", "max instance", "max load"
+    );
+    for step in 1..=8u64 {
+        sim.run_until(Time::from_millis(step * horizon / 8));
+        let loads = sim.directory_loads();
+        let instances = loads.len();
+        let max_instance = loads.iter().map(|(p, _)| p.instance).max().unwrap_or(0);
+        let max_load = loads.iter().map(|(_, l)| *l).max().unwrap_or(0);
+        println!(
+            "{:>6} {:>12} {:>11} {:>13} {:>10}",
+            step * horizon / 8 / 60_000,
+            sim.live_population(),
+            instances,
+            max_instance,
+            max_load,
+        );
+    }
+    let result = sim.finish();
+    println!();
+    println!(
+        "petal splits: {}   hit ratio: {:.3}   queries: {}",
+        result.splits,
+        result.stats.hit_ratio(),
+        result.stats.queries
+    );
+    println!(
+        "\nthe instance chain grows with the audience while each instance's\n\
+         view stays near the capacity limit — adaptive scale-out without\n\
+         overloading any single directory peer (§4)."
+    );
+}

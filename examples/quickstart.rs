@@ -1,0 +1,45 @@
+//! Quickstart: run a small Flower-CDN simulation and print the three
+//! metrics of the paper's evaluation (§6): hit ratio, mean lookup latency
+//! and mean transfer distance.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use flower_cdn::{FlowerSim, SimParams};
+
+fn main() {
+    // A reduced configuration: 300 peers, 2 simulated hours, the same
+    // protocol stack as the paper-scale runs (see `SimParams::paper_defaults`
+    // for Table 1 of the paper).
+    let mut params = SimParams::quick(300, 2 * 3_600_000);
+    params.seed = 1;
+    println!("{}", params.table1());
+
+    println!("building the initial D-ring and churn schedule…");
+    let sim = FlowerSim::new(params);
+    println!(
+        "t=0: {} directory peers form the D-ring",
+        sim.directory_count()
+    );
+
+    println!("running 2 simulated hours of churn and queries…");
+    let result = sim.run();
+
+    println!();
+    println!("queries completed   : {}", result.stats.queries);
+    println!("hit ratio           : {:.3}", result.stats.hit_ratio());
+    println!(
+        "mean lookup latency : {:.0} ms",
+        result.stats.mean_lookup_ms()
+    );
+    println!(
+        "mean transfer dist. : {:.0} ms",
+        result.stats.mean_transfer_ms()
+    );
+    println!(
+        "directory repairs   : {} (positions re-claimed after failures)",
+        result.replacements
+    );
+    assert!(result.stats.queries > 0, "the workload must produce queries");
+}

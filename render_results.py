@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Render results/*.csv into the markdown tables EXPERIMENTS.md embeds."""
+import csv, pathlib, sys
+
+R = pathlib.Path("results")
+
+def table2():
+    rows = list(csv.DictReader(open(R / "table2_scalability.csv")))
+    out = ["| P | approach | hit ratio | lookup | transfer |", "|---|---|---|---|---|"]
+    for r in rows:
+        out.append(
+            f"| {r['population']} | {r['system']} | {float(r['hit_ratio']):.2f} "
+            f"| {float(r['mean_lookup_ms']):.0f} ms | {float(r['mean_transfer_ms']):.0f} ms |"
+        )
+    return "\n".join(out)
+
+def petalup():
+    rows = list(csv.DictReader(open(R / "ablation_petalup.csv")))
+    out = ["| capacity | live instances | max instance | max load | splits | hit ratio |",
+           "|---|---|---|---|---|---|"]
+    for r in rows:
+        out.append(
+            f"| {r['capacity']} | {r['instances']} | {r['max_instance']} "
+            f"| {r['max_load']} | {r['splits']} | {float(r['hit_ratio']):.3f} |"
+        )
+    return "\n".join(out)
+
+def maintenance():
+    rows = list(csv.DictReader(open(R / "ablation_maintenance.csv")))
+    out = ["| variant | hit ratio | mean lookup | repairs |", "|---|---|---|---|"]
+    for r in rows:
+        out.append(
+            f"| {r['variant']} | {float(r['hit_ratio']):.3f} "
+            f"| {float(r['mean_lookup_ms']):.0f} ms | {r['repairs']} |"
+        )
+    return "\n".join(out)
+
+def cache():
+    rows = list(csv.DictReader(open(R / "ablation_cache.csv")))
+    out = ["| policy | hit ratio | mean lookup | stale-redirect misses | queries |",
+           "|---|---|---|---|---|"]
+    for r in rows:
+        out.append(
+            f"| {r['policy']} | {float(r['hit_ratio']):.3f} "
+            f"| {float(r['mean_lookup_ms']):.0f} ms | {r['fetch_misses']} | {r['queries']} |"
+        )
+    return "\n".join(out)
+
+if __name__ == "__main__":
+    md = pathlib.Path("EXPERIMENTS.md").read_text()
+    for marker, render in [
+        ("<!-- TABLE2_MEASURED -->", table2),
+        ("<!-- A1_MEASURED -->", petalup),
+        ("<!-- A2_MEASURED -->", maintenance),
+        ("<!-- A3_MEASURED -->", cache),
+    ]:
+        if marker in md:
+            try:
+                md = md.replace(marker, render())
+                print(f"filled {marker}")
+            except FileNotFoundError as e:
+                print(f"skipped {marker}: {e}", file=sys.stderr)
+    pathlib.Path("EXPERIMENTS.md").write_text(md)

@@ -1,0 +1,152 @@
+//! Cross-crate integration: full Flower-CDN and Squirrel simulations under
+//! the paper's workload/churn laws at reduced scale, checking the
+//! qualitative claims of §6.
+
+use flower_cdn::experiments::{
+    hit_ratio_series, lookup_histogram, run_comparison, transfer_histogram,
+};
+use flower_cdn::{FlowerSim, SimParams, SquirrelMode, SquirrelSim};
+
+/// Reduced but regime-preserving parameters (dense petals, heavy churn).
+fn shape(seed: u64, population: usize) -> SimParams {
+    let horizon = 3_600_000; // 1 simulated hour keeps debug-mode tests fast
+    let mut p = SimParams::quick(population, horizon);
+    p.seed = seed;
+    p.mean_uptime_ms = horizon / 4;
+    finish_shape(p)
+}
+
+fn finish_shape(mut p: SimParams) -> SimParams {
+    p.query_period_ms = p.mean_uptime_ms / 12;
+    p.gossip_period_ms = p.mean_uptime_ms;
+    p.catalog.websites = 6;
+    p.catalog.active_websites = 3;
+    p.catalog.objects_per_site = 150;
+    p
+}
+
+#[test]
+fn flower_beats_squirrel_under_churn() {
+    // Fig. 3: Squirrel may lead during the warm-up, so the comparison
+    // needs enough simulated time past the crossover — 3 hours at 6
+    // lifetimes of churn.
+    let horizon = 3 * 3_600_000;
+    let mut p = SimParams::quick(200, horizon);
+    p.seed = 42;
+    p.mean_uptime_ms = horizon / 6;
+    let run = run_comparison(finish_shape(p));
+    let f = &run.flower.stats;
+    let s = &run.squirrel.stats;
+    assert!(f.queries > 500 && s.queries > 500, "workload too thin");
+    assert!(
+        f.hit_ratio() > s.hit_ratio(),
+        "hit: flower {:.3} vs squirrel {:.3}",
+        f.hit_ratio(),
+        s.hit_ratio()
+    );
+    assert!(
+        f.mean_lookup_ms() < s.mean_lookup_ms(),
+        "lookup: flower {:.0} vs squirrel {:.0}",
+        f.mean_lookup_ms(),
+        s.mean_lookup_ms()
+    );
+    assert!(
+        f.mean_transfer_ms() < s.mean_transfer_ms(),
+        "transfer: flower {:.0} vs squirrel {:.0}",
+        f.mean_transfer_ms(),
+        s.mean_transfer_ms()
+    );
+}
+
+#[test]
+fn hit_ratio_climbs_over_time() {
+    // Fig. 3's qualitative shape: the cumulative Flower-CDN hit ratio
+    // improves as petals populate.
+    let result = FlowerSim::new(shape(7, 200)).run();
+    let series = hit_ratio_series(&result.records, 300_000);
+    assert!(series.len() >= 8);
+    let early = series[2].1;
+    let late = series.last().unwrap().1;
+    assert!(
+        late > early,
+        "cumulative hit ratio should climb: early {early:.3}, late {late:.3}"
+    );
+}
+
+#[test]
+fn figure_histograms_are_consistent_with_stats() {
+    let result = FlowerSim::new(shape(9, 150)).run();
+    let lookup = lookup_histogram(&result.records);
+    let transfer = transfer_histogram(&result.records);
+    assert_eq!(lookup.total(), result.stats.queries);
+    assert_eq!(transfer.total(), result.stats.queries);
+    assert!((lookup.mean() - result.stats.mean_lookup_ms()).abs() < 1e-6);
+    assert!((transfer.mean() - result.stats.mean_transfer_ms()).abs() < 1e-6);
+}
+
+#[test]
+fn runs_are_fully_deterministic() {
+    let a = FlowerSim::new(shape(123, 120)).run();
+    let b = FlowerSim::new(shape(123, 120)).run();
+    assert_eq!(a.records.len(), b.records.len());
+    assert_eq!(a.stats.hits, b.stats.hits);
+    assert_eq!(a.replacements, b.replacements);
+    let sa = SquirrelSim::new(shape(123, 120), SquirrelMode::Directory).run();
+    let sb = SquirrelSim::new(shape(123, 120), SquirrelMode::Directory).run();
+    assert_eq!(sa.records.len(), sb.records.len());
+    assert_eq!(sa.stats.hits, sb.stats.hits);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let mut p1 = shape(1, 120);
+    let mut p2 = shape(2, 120);
+    p1.seed = 1;
+    p2.seed = 2;
+    let a = FlowerSim::new(p1).run();
+    let b = FlowerSim::new(p2).run();
+    assert_ne!(
+        (a.records.len(), a.stats.hits),
+        (b.records.len(), b.stats.hits),
+        "different seeds should explore different trajectories"
+    );
+}
+
+#[test]
+fn squirrel_home_store_also_works() {
+    let r = SquirrelSim::new(shape(5, 150), SquirrelMode::HomeStore).run();
+    assert!(r.stats.queries > 300);
+    assert!(
+        r.stats.hit_ratio() > 0.05,
+        "home-store hit {:.3}",
+        r.stats.hit_ratio()
+    );
+}
+
+#[test]
+fn population_converges_to_target() {
+    let mut sim = FlowerSim::new(shape(31, 200));
+    sim.run_until(simnet::Time::from_millis(3_600_000));
+    let pop = sim.live_population();
+    assert!(
+        (120..=320).contains(&pop),
+        "population {pop} should hover near the 200 target"
+    );
+}
+
+#[test]
+fn overhead_is_accounted_and_flower_maintenance_is_cheap() {
+    // The paper's design goal: performance "while minimizing the incurred
+    // overhead" (§1). Flower-CDN runs DHT maintenance only on the ~|W|·k
+    // directory peers, while Squirrel runs it on every peer — so Squirrel's
+    // total message count per query must be higher.
+    let run = run_comparison(shape(77, 200));
+    assert!(run.flower.messages_delivered > 0);
+    assert!(run.squirrel.messages_delivered > 0);
+    assert!(
+        run.flower.messages_per_query() < run.squirrel.messages_per_query(),
+        "flower {:.1} msg/query should undercut squirrel {:.1}",
+        run.flower.messages_per_query(),
+        run.squirrel.messages_per_query()
+    );
+}
