@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI entry point. Uses the vendored dependencies (vendor/ + the repo's
+# .cargo/config.toml pins offline mode), so it runs hermetically with no
+# network access.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> CI green"

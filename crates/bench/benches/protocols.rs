@@ -82,10 +82,13 @@ fn bench_gossip(c: &mut Criterion) {
     g.bench_function("shuffle_round_trip", |b| {
         let mut rng = StdRng::seed_from_u64(3);
         let mk = |i: usize| {
-            let mut c = Cyclon::new(NodeId::from_index(i), ShuffleMode::Union, 5, 0)
-                .with_max_age(6);
+            let mut c =
+                Cyclon::new(NodeId::from_index(i), ShuffleMode::Union, 5, 0).with_max_age(6);
             c.seed((0..20).map(|j| {
-                Entry::new(NodeId::from_index(100 + j), BloomFilter::with_rate(64, 0.02))
+                Entry::new(
+                    NodeId::from_index(100 + j),
+                    BloomFilter::with_rate(64, 0.02),
+                )
             }));
             c
         };
@@ -96,8 +99,7 @@ fn bench_gossip(c: &mut Criterion) {
                 if let Some((_t, GossipMsg::ShuffleReq { entries }, _gen)) =
                     a.start_shuffle(payload.clone(), &mut rng)
                 {
-                    let reply =
-                        bb.handle_request(a.me(), entries, payload, &mut rng);
+                    let reply = bb.handle_request(a.me(), entries, payload, &mut rng);
                     if let GossipMsg::ShuffleReply { entries } = reply {
                         a.handle_reply(bb.me(), entries);
                     }

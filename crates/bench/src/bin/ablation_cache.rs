@@ -49,7 +49,11 @@ fn main() {
         let mut params = base(&opts);
         params.store_policy = policy;
         let r = FlowerSim::new(params).run();
-        let fetch_misses = r.events.get(&ProtocolEvent::FetchMiss).copied().unwrap_or(0);
+        let fetch_misses = r
+            .events
+            .get(&ProtocolEvent::FetchMiss)
+            .copied()
+            .unwrap_or(0);
         rows.push((
             label,
             r.stats.hit_ratio(),
@@ -74,7 +78,13 @@ fn main() {
         "{}",
         ascii_table(
             "Ablation A3: LRU cache capacity vs hit ratio",
-            &["policy", "hit ratio", "mean lookup", "fetch misses", "queries"],
+            &[
+                "policy",
+                "hit ratio",
+                "mean lookup",
+                "fetch misses",
+                "queries"
+            ],
             &rendered,
         )
     );
@@ -83,7 +93,13 @@ fn main() {
          caches, so the hit ratio should fall gently with capacity; stale\n\
          redirects (fetch misses) stay rare thanks to index retraction."
     );
-    let mut csv = Csv::new(&["policy", "hit_ratio", "mean_lookup_ms", "fetch_misses", "queries"]);
+    let mut csv = Csv::new(&[
+        "policy",
+        "hit_ratio",
+        "mean_lookup_ms",
+        "fetch_misses",
+        "queries",
+    ]);
     for (label, hit, lookup, misses, queries) in rows {
         csv.row(&[
             label,

@@ -108,7 +108,11 @@ fn main() {
     ]);
     for (cap, inst, maxi, load, splits, hit) in rows {
         csv.row(&[
-            if cap == usize::MAX { "inf".into() } else { cap.to_string() },
+            if cap == usize::MAX {
+                "inf".into()
+            } else {
+                cap.to_string()
+            },
             inst.to_string(),
             maxi.to_string(),
             load.to_string(),

@@ -12,14 +12,14 @@
 
 use cdn_metrics::{ascii_lines, Csv};
 use flower_bench::HarnessOpts;
-use flower_cdn::experiments::{hit_ratio_series, run_comparison};
+use flower_cdn::experiments::{hit_ratio_series, run_comparison_instrumented};
 
 fn main() {
     let opts = HarnessOpts::parse();
     let params = opts.params(3_000);
     println!("{}", params.table1());
     println!("running Flower-CDN and Squirrel side by side…");
-    let run = run_comparison(params.clone());
+    let run = run_comparison_instrumented(params.clone(), opts.instrumentation());
 
     let bucket = (params.horizon_ms / 24).max(60_000);
     let flower = hit_ratio_series(&run.flower.records, bucket);
@@ -47,4 +47,31 @@ fn main() {
     let path = opts.results_dir().join("fig3_hit_ratio.csv");
     csv.save(&path).expect("write results csv");
     println!("wrote {}", path.display());
+
+    if let Some(p) = &opts.trace_out {
+        println!(
+            "wrote traces to {} (+ .squirrel.jsonl sibling); \
+             reconstruct a query with: grep '\"qid\":<id>' {}",
+            p.display(),
+            p.display()
+        );
+    }
+    if !run.flower.gauges.is_empty() {
+        println!(
+            "{}",
+            run.flower.gauges.ascii_chart(
+                "Flower-CDN gauges: population / D-ring size",
+                &["population", "dring_size"],
+                72,
+                12,
+            )
+        );
+        let gpath = opts.results_dir().join("fig3_gauges.csv");
+        run.flower
+            .gauges
+            .to_csv()
+            .save(&gpath)
+            .expect("write gauges csv");
+        println!("wrote {}", gpath.display());
+    }
 }

@@ -25,10 +25,7 @@ fn main() {
     let chart = ascii_bars(
         "Figure 4: lookup latency distribution (fraction of queries per bucket, ms)",
         &f.labels(),
-        &[
-            ("Flower-CDN", f.fractions()),
-            ("Squirrel", s.fractions()),
-        ],
+        &[("Flower-CDN", f.fractions()), ("Squirrel", s.fractions())],
     );
     println!("{chart}");
     println!(
@@ -51,7 +48,11 @@ fn main() {
     let mut csv = Csv::new(&["bucket_ms", "flower_fraction", "squirrel_fraction"]);
     let (ff, sf) = (f.fractions(), s.fractions());
     for (i, label) in f.labels().iter().enumerate() {
-        csv.row(&[label.clone(), format!("{:.4}", ff[i]), format!("{:.4}", sf[i])]);
+        csv.row(&[
+            label.clone(),
+            format!("{:.4}", ff[i]),
+            format!("{:.4}", sf[i]),
+        ]);
     }
     let path = opts.results_dir().join("fig4_lookup_latency.csv");
     csv.save(&path).expect("write results csv");

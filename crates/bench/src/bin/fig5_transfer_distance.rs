@@ -26,10 +26,7 @@ fn main() {
     let chart = ascii_bars(
         "Figure 5: transfer distance distribution (fraction of queries per bucket, ms)",
         &f.labels(),
-        &[
-            ("Flower-CDN", f.fractions()),
-            ("Squirrel", s.fractions()),
-        ],
+        &[("Flower-CDN", f.fractions()), ("Squirrel", s.fractions())],
     );
     println!("{chart}");
     println!(
@@ -47,7 +44,11 @@ fn main() {
     let mut csv = Csv::new(&["bucket_ms", "flower_fraction", "squirrel_fraction"]);
     let (ff, sf) = (f.fractions(), s.fractions());
     for (i, label) in f.labels().iter().enumerate() {
-        csv.row(&[label.clone(), format!("{:.4}", ff[i]), format!("{:.4}", sf[i])]);
+        csv.row(&[
+            label.clone(),
+            format!("{:.4}", ff[i]),
+            format!("{:.4}", sf[i]),
+        ]);
     }
     let path = opts.results_dir().join("fig5_transfer_distance.csv");
     csv.save(&path).expect("write results csv");

@@ -72,7 +72,11 @@ fn main() {
     let mut csv = Csv::new(&["bucket_ms", "flower_fraction", "squirrel_fraction"]);
     let (ff, sf) = (fl.fractions(), sl.fractions());
     for (i, label) in fl.labels().iter().enumerate() {
-        csv.row(&[label.clone(), format!("{:.4}", ff[i]), format!("{:.4}", sf[i])]);
+        csv.row(&[
+            label.clone(),
+            format!("{:.4}", ff[i]),
+            format!("{:.4}", sf[i]),
+        ]);
     }
     csv.save(dir.join("fig4_lookup_latency.csv")).expect("csv");
 
@@ -98,9 +102,16 @@ fn main() {
     let mut csv = Csv::new(&["bucket_ms", "flower_fraction", "squirrel_fraction"]);
     let (ff, sf) = (ft.fractions(), st.fractions());
     for (i, label) in ft.labels().iter().enumerate() {
-        csv.row(&[label.clone(), format!("{:.4}", ff[i]), format!("{:.4}", sf[i])]);
+        csv.row(&[
+            label.clone(),
+            format!("{:.4}", ff[i]),
+            format!("{:.4}", sf[i]),
+        ]);
     }
-    csv.save(dir.join("fig5_transfer_distance.csv")).expect("csv");
+    csv.save(dir.join("fig5_transfer_distance.csv"))
+        .expect("csv");
 
-    println!("wrote results/fig3_hit_ratio.csv, fig4_lookup_latency.csv, fig5_transfer_distance.csv");
+    println!(
+        "wrote results/fig3_hit_ratio.csv, fig4_lookup_latency.csv, fig5_transfer_distance.csv"
+    );
 }

@@ -5,7 +5,12 @@
 //! * `--quick` — a reduced-scale run (minutes of virtual time, small
 //!   population) for smoke-testing the pipeline;
 //! * `--population N` — override the mean population (where applicable);
-//! * `--seed N` — override the RNG seed.
+//! * `--seed N` — override the RNG seed;
+//! * `--trace-out PATH` — stream every simulation event as JSON lines to
+//!   `PATH` (Squirrel runs land in a `.squirrel.jsonl` sibling); one
+//!   query's causal path is the set of lines sharing its `qid`;
+//! * `--gauges MS` — sample live gauges (population, D-ring size, petal
+//!   sizes, per-class message rates) every `MS` of virtual time.
 //!
 //! Without flags, binaries run the **paper-scale** configuration
 //! (Table 1: 24 simulated hours, 100 websites × 500 objects, k = 6,
@@ -13,7 +18,7 @@
 //! system. Results are written under `results/` as CSV and rendered as
 //! ASCII charts on stdout.
 
-use flower_cdn::SimParams;
+use flower_cdn::{Instrumentation, SimParams};
 
 /// Scale selection for a harness run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +35,10 @@ pub struct HarnessOpts {
     pub scale: Scale,
     pub population: Option<usize>,
     pub seed: Option<u64>,
+    /// JSONL trace destination (`--trace-out`).
+    pub trace_out: Option<std::path::PathBuf>,
+    /// Gauge sampling period in virtual ms (`--gauges`).
+    pub gauge_period_ms: Option<u64>,
 }
 
 impl HarnessOpts {
@@ -39,6 +48,8 @@ impl HarnessOpts {
             scale: Scale::Paper,
             population: None,
             seed: None,
+            trace_out: None,
+            gauge_period_ms: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -52,8 +63,20 @@ impl HarnessOpts {
                     let v = args.next().expect("--seed needs a value");
                     opts.seed = Some(v.parse().expect("seed must be a number"));
                 }
+                "--trace-out" => {
+                    let v = args.next().expect("--trace-out needs a path");
+                    opts.trace_out = Some(v.into());
+                }
+                "--gauges" => {
+                    let v = args.next().expect("--gauges needs a period in ms");
+                    opts.gauge_period_ms =
+                        Some(v.parse().expect("gauge period must be a number of ms"));
+                }
                 "--help" | "-h" => {
-                    eprintln!("usage: <bin> [--quick] [--population N] [--seed N]");
+                    eprintln!(
+                        "usage: <bin> [--quick] [--population N] [--seed N] \
+                         [--trace-out PATH] [--gauges MS]"
+                    );
                     std::process::exit(0);
                 }
                 other => {
@@ -63,6 +86,15 @@ impl HarnessOpts {
             }
         }
         opts
+    }
+
+    /// The instrumentation this invocation asks for, in the form the
+    /// experiment drivers accept.
+    pub fn instrumentation(&self) -> Instrumentation {
+        Instrumentation {
+            trace_out: self.trace_out.clone(),
+            gauge_period_ms: self.gauge_period_ms,
+        }
     }
 
     /// The simulation parameters this invocation asks for. `default_pop`
@@ -109,6 +141,8 @@ mod tests {
             scale: Scale::Paper,
             population: None,
             seed: None,
+            trace_out: None,
+            gauge_period_ms: None,
         };
         let p = opts.params(3_000);
         assert_eq!(p.population, 3_000);
@@ -122,6 +156,8 @@ mod tests {
             scale: Scale::Quick,
             population: Some(123),
             seed: Some(9),
+            trace_out: None,
+            gauge_period_ms: None,
         };
         let p = opts.params(3_000);
         assert_eq!(p.population, 123);

@@ -161,7 +161,11 @@ impl Chord {
     /// that ring by 600 sequential joins would only measure bootstrap, not
     /// the protocol under churn. `ring` must be sorted by id and contain
     /// `me` at `me_idx`.
-    pub fn converged(me_idx: usize, ring: &[NodeRef], cfg: ChordConfig) -> (Chord, Vec<ChordAction>) {
+    pub fn converged(
+        me_idx: usize,
+        ring: &[NodeRef],
+        cfg: ChordConfig,
+    ) -> (Chord, Vec<ChordAction>) {
         assert!(!ring.is_empty());
         assert!(
             ring.windows(2).all(|w| w[0].id < w[1].id),
@@ -374,7 +378,13 @@ impl Chord {
         ]
     }
 
-    fn on_route(&mut self, key: ChordId, token: u64, origin: NodeRef, hops: u32) -> Vec<ChordAction> {
+    fn on_route(
+        &mut self,
+        key: ChordId,
+        token: u64,
+        origin: NodeRef,
+        hops: u32,
+    ) -> Vec<ChordAction> {
         match self.routing_step(key) {
             StepResult::Unknown => Vec::new(), // stranded: drop; origin retries
             StepResult::Owner(owner) => vec![ChordAction::Send {
@@ -491,9 +501,7 @@ impl Chord {
             ChordTimer::CheckPredecessor => self.on_check_predecessor_timer(),
             ChordTimer::LookupStep { token, attempt } => self.on_step_timeout(token, attempt),
             ChordTimer::StabilizeDeadline { gen } => self.on_stabilize_timeout(gen),
-            ChordTimer::RouteDeadline { token, attempt } => {
-                self.on_route_deadline(token, attempt)
-            }
+            ChordTimer::RouteDeadline { token, attempt } => self.on_route_deadline(token, attempt),
             ChordTimer::PingDeadline { nonce } => {
                 if self.pending_ping.is_some_and(|(n, _)| n == nonce) {
                     // Predecessor is unresponsive: forget it so a live
@@ -705,10 +713,7 @@ impl Chord {
         if lk.failures > self.cfg.max_lookup_failures {
             let lk = self.lookups.remove(&token).expect("present");
             return match lk.purpose {
-                Purpose::External => vec![ChordAction::LookupFailed {
-                    token,
-                    key: lk.key,
-                }],
+                Purpose::External => vec![ChordAction::LookupFailed { token, key: lk.key }],
                 Purpose::Join => vec![ChordAction::JoinFailed],
                 Purpose::Finger(_) => Vec::new(),
             };
@@ -727,10 +732,7 @@ impl Chord {
             return Vec::new();
         };
         match lk.purpose {
-            Purpose::External => vec![ChordAction::LookupFailed {
-                token,
-                key: lk.key,
-            }],
+            Purpose::External => vec![ChordAction::LookupFailed { token, key: lk.key }],
             Purpose::Join => vec![ChordAction::JoinFailed],
             Purpose::Finger(_) => Vec::new(),
         }
@@ -930,7 +932,7 @@ impl Chord {
             return Vec::new(); // stale round
         }
         self.stabilize_gen += 1; // consume: deadline becomes stale
-        // Rectify: if our successor's predecessor sits between us, adopt it.
+                                 // Rectify: if our successor's predecessor sits between us, adopt it.
         if let Some(p) = predecessor {
             if p.node != self.me.node && p.id.in_open(self.me.id, sender.id) {
                 self.adopt_successor(p);

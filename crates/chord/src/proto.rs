@@ -117,3 +117,37 @@ pub enum ChordAction {
     /// a fresh seed) or retire the node's ring role.
     Isolated,
 }
+
+impl ChordMsg {
+    /// Stable protocol-class label, used as the `class` field of trace
+    /// events and as the key of per-class message-rate gauges.
+    pub fn class(&self) -> &'static str {
+        match self {
+            ChordMsg::FindNext { .. } => "chord_find_next",
+            ChordMsg::FindNextReply { .. } => "chord_find_next_reply",
+            ChordMsg::GetNeighbors { .. } => "chord_get_neighbors",
+            ChordMsg::NeighborsReply { .. } => "chord_neighbors_reply",
+            ChordMsg::Notify { .. } => "chord_notify",
+            ChordMsg::Ping { .. } => "chord_ping",
+            ChordMsg::Pong { .. } => "chord_pong",
+            ChordMsg::Route { .. } => "chord_route",
+            ChordMsg::RouteResult { .. } => "chord_route_result",
+        }
+    }
+}
+
+impl ChordTimer {
+    /// Stable class label for trace timer events.
+    pub fn class(&self) -> &'static str {
+        match self {
+            ChordTimer::Stabilize => "chord_stabilize",
+            ChordTimer::StabilizeOnce => "chord_stabilize_once",
+            ChordTimer::FixFingers => "chord_fix_fingers",
+            ChordTimer::CheckPredecessor => "chord_check_predecessor",
+            ChordTimer::LookupStep { .. } => "chord_lookup_step",
+            ChordTimer::StabilizeDeadline { .. } => "chord_stabilize_deadline",
+            ChordTimer::PingDeadline { .. } => "chord_ping_deadline",
+            ChordTimer::RouteDeadline { .. } => "chord_route_deadline",
+        }
+    }
+}

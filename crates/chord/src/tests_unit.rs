@@ -27,7 +27,10 @@ fn owns_strict_requires_a_predecessor() {
     // A fresh joiner has no predecessor → strict ownership of nothing.
     let (joiner, _) = Chord::join(r(9, 40_000), ring[0], ChordConfig::default());
     assert!(!joiner.owns_strict(ChordId(40_000)));
-    assert!(joiner.owns(ChordId(40_000)), "lenient owns stays permissive");
+    assert!(
+        joiner.owns(ChordId(40_000)),
+        "lenient owns stays permissive"
+    );
 }
 
 #[test]
@@ -91,7 +94,10 @@ fn stranded_node_refuses_to_answer() {
     // contract the asker's redundancy).
     let actions = node.handle_message(
         ring[0].node,
-        ChordMsg::GetNeighbors { gen: 1, from: ring[0] },
+        ChordMsg::GetNeighbors {
+            gen: 1,
+            from: ring[0],
+        },
     );
     assert!(
         actions.is_empty(),

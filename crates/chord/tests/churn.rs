@@ -5,13 +5,20 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use chord::{Chord, ChordAction, ChordConfig, ChordId, ChordMsg, ChordTimer, NodeRef};
-use simnet::NodeId;
+use simnet::{LivenessChecker, LocalityId, NodeId, Time, TraceEvent, TraceSink};
 
 const LATENCY_MS: u64 = 50;
 
 enum Ev {
-    Msg { to: NodeId, from: NodeId, msg: ChordMsg },
-    Timer { node: NodeId, timer: ChordTimer },
+    Msg {
+        to: NodeId,
+        from: NodeId,
+        msg: ChordMsg,
+    },
+    Timer {
+        node: NodeId,
+        timer: ChordTimer,
+    },
 }
 
 struct H {
@@ -25,6 +32,8 @@ struct H {
     /// the driver loop the way real hosts do.
     rejoin_queue: Vec<NodeId>,
     join_failures: u64,
+    /// Trace-driven consistency checker fed by the harness (see ring.rs).
+    trace: LivenessChecker,
 }
 
 impl H {
@@ -38,7 +47,20 @@ impl H {
             isolated: Vec::new(),
             rejoin_queue: Vec::new(),
             join_failures: 0,
+            trace: LivenessChecker::new(),
         }
+    }
+    fn emit(&mut self, ev: TraceEvent) {
+        self.trace.event(Time::from_millis(self.now), &ev);
+    }
+    fn note_spawn(&mut self, id: NodeId) {
+        self.emit(TraceEvent::NodeSpawn {
+            node: id,
+            locality: LocalityId(0),
+        });
+    }
+    fn note_fail(&mut self, id: NodeId) {
+        self.emit(TraceEvent::NodeFail { node: id });
     }
     fn push(&mut self, at: u64, ev: Ev) {
         let idx = self.events.len();
@@ -49,9 +71,14 @@ impl H {
     fn apply(&mut self, me: NodeId, actions: Vec<ChordAction>) {
         for a in actions {
             match a {
-                ChordAction::Send { to, msg } => {
-                    self.push(self.now + LATENCY_MS, Ev::Msg { to: to.node, from: me, msg })
-                }
+                ChordAction::Send { to, msg } => self.push(
+                    self.now + LATENCY_MS,
+                    Ev::Msg {
+                        to: to.node,
+                        from: me,
+                        msg,
+                    },
+                ),
                 ChordAction::SetTimer { delay_ms, timer } => {
                     self.push(self.now + delay_ms, Ev::Timer { node: me, timer })
                 }
@@ -74,12 +101,26 @@ impl H {
             }
             let Reverse((at, _, idx)) = self.queue.pop().unwrap();
             self.now = at;
-            let Some(ev) = self.events[idx].take() else { continue };
+            let Some(ev) = self.events[idx].take() else {
+                continue;
+            };
             match ev {
                 Ev::Msg { to, from, msg } => {
+                    let class = msg.class();
                     if let Some(n) = self.nodes.get_mut(&to) {
                         let acts = n.handle_message(from, msg);
+                        self.emit(TraceEvent::MsgDeliver {
+                            src: from,
+                            dst: to,
+                            class,
+                        });
                         self.apply(to, acts);
+                    } else {
+                        self.emit(TraceEvent::MsgDrop {
+                            src: from,
+                            dst: to,
+                            class,
+                        });
                     }
                 }
                 Ev::Timer { node, timer } => {
@@ -125,7 +166,12 @@ impl H {
         }
         let stranded = m.iter().filter(|x| x.3).count();
         let predless = m.iter().filter(|x| x.4.is_none()).count();
-        (ok as f64 / n as f64, stranded, predless, pred_ok as f64 / n as f64)
+        (
+            ok as f64 / n as f64,
+            stranded,
+            predless,
+            pred_ok as f64 / n as f64,
+        )
     }
 
     fn mean_list_len(&self) -> f64 {
@@ -164,6 +210,7 @@ fn ring_stays_converged_under_sustained_churn() {
         .collect();
     refs.sort_by_key(|r| r.id.0);
     for (i, r) in refs.iter().enumerate() {
+        h.note_spawn(r.node);
         let (node, actions) = Chord::converged(i, &refs, cfg());
         h.nodes.insert(r.node, node);
         h.apply(r.node, actions);
@@ -185,6 +232,7 @@ fn ring_stays_converged_under_sustained_churn() {
         // Fail a random live node.
         let live: Vec<NodeId> = h.nodes.keys().copied().collect();
         let victim = live[(rand() % live.len() as u64) as usize];
+        h.note_fail(victim);
         h.nodes.remove(&victim);
         // A new node joins through a random live seed.
         let live: Vec<NodeId> = h.nodes.keys().copied().collect();
@@ -192,6 +240,7 @@ fn ring_stays_converged_under_sustained_churn() {
         let seed = h.nodes[&seed_id].me();
         let me = NodeRef::new(NodeId::from_index(next_id), ChordId(hash(next_id as u64)));
         next_id += 1;
+        h.note_spawn(me.node);
         let (node, actions) = Chord::join(me, seed, cfg());
         h.nodes.insert(me.node, node);
         h.apply(me.node, actions);
@@ -238,11 +287,9 @@ fn ring_stays_converged_under_sustained_churn() {
     for (min, s, st, pl, p) in &report {
         eprintln!("min {min}: succ_ok={s:.2} stranded={st} predless={pl} pred_ok={p:.2}");
     }
-    let (succ_ok, stranded, _predless, _):(f64,usize,usize,f64) = h.health();
+    let (succ_ok, stranded, _predless, _): (f64, usize, usize, f64) = h.health();
     eprintln!("final: succ_ok={succ_ok:.2} stranded={stranded}");
-    assert!(
-        succ_ok > 0.85,
-        "ring decayed: final succ_ok {succ_ok:.2}"
-    );
+    h.trace.assert_clean();
+    assert!(succ_ok > 0.85, "ring decayed: final succ_ok {succ_ok:.2}");
     assert!(stranded < 10, "{stranded} stranded nodes accumulated");
 }

@@ -7,7 +7,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use chord::{Chord, ChordAction, ChordConfig, ChordId, ChordMsg, ChordTimer, NodeRef};
-use simnet::NodeId;
+use simnet::{LivenessChecker, LocalityId, NodeId, Time, TraceEvent, TraceSink};
 
 const LATENCY_MS: u64 = 20;
 
@@ -37,6 +37,10 @@ struct Harness {
     events: Vec<Option<Ev>>,
     nodes: HashMap<NodeId, Chord>,
     outcome: Outcome,
+    /// Trace-driven consistency checker: the harness mirrors its
+    /// spawn/fail/deliver decisions into it, and tests assert the stream
+    /// stayed consistent (no delivery to dead nodes, no double spawns).
+    trace: LivenessChecker,
 }
 
 impl Harness {
@@ -48,7 +52,12 @@ impl Harness {
             events: Vec::new(),
             nodes: HashMap::new(),
             outcome: Outcome::default(),
+            trace: LivenessChecker::new(),
         }
+    }
+
+    fn emit(&mut self, ev: TraceEvent) {
+        self.trace.event(Time::from_millis(self.now), &ev);
     }
 
     fn push(&mut self, at: u64, ev: Ev) {
@@ -81,7 +90,10 @@ impl Harness {
                     key,
                     owner,
                     hops,
-                } => self.outcome.lookups_done.push((me, token, key, owner, hops)),
+                } => self
+                    .outcome
+                    .lookups_done
+                    .push((me, token, key, owner, hops)),
                 ChordAction::LookupFailed { token, key } => {
                     self.outcome.lookups_failed.push((me, token, key))
                 }
@@ -95,6 +107,10 @@ impl Harness {
     }
 
     fn create(&mut self, me: NodeRef, cfg: ChordConfig) {
+        self.emit(TraceEvent::NodeSpawn {
+            node: me.node,
+            locality: LocalityId(0),
+        });
         let (node, actions) = Chord::create(me, cfg);
         self.nodes.insert(me.node, node);
         self.outcome.joins.insert(me.node);
@@ -102,21 +118,22 @@ impl Harness {
     }
 
     fn join(&mut self, me: NodeRef, seed: NodeRef, cfg: ChordConfig) {
+        self.emit(TraceEvent::NodeSpawn {
+            node: me.node,
+            locality: LocalityId(0),
+        });
         let (node, actions) = Chord::join(me, seed, cfg);
         self.nodes.insert(me.node, node);
         self.apply(me.node, actions);
     }
 
     fn kill(&mut self, id: NodeId) {
+        self.emit(TraceEvent::NodeFail { node: id });
         self.nodes.remove(&id);
     }
 
     fn lookup(&mut self, from: NodeId, key: ChordId) -> u64 {
-        let (token, actions) = self
-            .nodes
-            .get_mut(&from)
-            .expect("origin alive")
-            .lookup(key);
+        let (token, actions) = self.nodes.get_mut(&from).expect("origin alive").lookup(key);
         self.apply(from, actions);
         token
     }
@@ -133,10 +150,23 @@ impl Harness {
             };
             match ev {
                 Ev::Msg { to, from, msg } => {
+                    let class = msg.class();
                     if let Some(node) = self.nodes.get_mut(&to) {
                         let actions = node.handle_message(from, msg);
+                        self.emit(TraceEvent::MsgDeliver {
+                            src: from,
+                            dst: to,
+                            class,
+                        });
                         self.apply(to, actions);
-                    } // else: dropped — sender will time out
+                    } else {
+                        // Dropped — sender will time out.
+                        self.emit(TraceEvent::MsgDrop {
+                            src: from,
+                            dst: to,
+                            class,
+                        });
+                    }
                 }
                 Ev::Timer { node, timer } => {
                     if let Some(n) = self.nodes.get_mut(&node) {
@@ -255,7 +285,9 @@ fn ring_of_32_converges_to_sorted_order() {
 #[test]
 fn lookups_find_the_correct_owner() {
     let (mut h, refs) = build_ring(32);
-    let keys: Vec<ChordId> = (0..50u64).map(|i| ChordId(bloomless_hash(1_000 + i))).collect();
+    let keys: Vec<ChordId> = (0..50u64)
+        .map(|i| ChordId(bloomless_hash(1_000 + i)))
+        .collect();
     let origin = refs[7].node;
     for &k in &keys {
         h.lookup(origin, k);
@@ -308,6 +340,7 @@ fn ring_heals_after_mass_failure() {
     }
     let deadline = h.now + 120_000;
     h.run_until(deadline);
+    h.trace.assert_clean();
     assert!(
         h.outcome.lookups_failed.is_empty(),
         "lookups failed: {:?}",
@@ -341,6 +374,7 @@ fn lookup_during_churn_survives_dead_hops() {
         h.lookup(origin, ChordId(bloomless_hash(7_777 + i)));
     }
     h.run_until(h.now + 120_000);
+    h.trace.assert_clean();
     let done = h.outcome.lookups_done.len();
     let failed = h.outcome.lookups_failed.len();
     assert_eq!(done + failed, 20);
@@ -388,6 +422,10 @@ fn converged_constructor_matches_organic_convergence() {
     refs.sort_by_key(|r| r.id.0);
     let mut h = Harness::new();
     for (i, r) in refs.iter().enumerate() {
+        h.emit(TraceEvent::NodeSpawn {
+            node: r.node,
+            locality: LocalityId(0),
+        });
         let (node, actions) = Chord::converged(i, &refs, fast_cfg());
         h.nodes.insert(r.node, node);
         h.outcome.joins.insert(r.node);
@@ -409,6 +447,7 @@ fn converged_constructor_matches_organic_convergence() {
     // And it keeps running (stabilization does not destroy the state).
     h.run_until(120_000);
     h.assert_ring_converged();
+    h.trace.assert_clean();
 }
 
 #[test]
@@ -417,13 +456,11 @@ fn recursive_lookup_finds_owner_with_fewer_message_delays() {
     h.run_until(h.now + 60_000);
     let origin = refs[3].node;
     let start = h.now;
-    let keys: Vec<ChordId> = (0..30u64).map(|i| ChordId(bloomless_hash(60_000 + i))).collect();
+    let keys: Vec<ChordId> = (0..30u64)
+        .map(|i| ChordId(bloomless_hash(60_000 + i)))
+        .collect();
     for &k in &keys {
-        let (_, actions) = h
-            .nodes
-            .get_mut(&origin)
-            .unwrap()
-            .lookup_recursive(k);
+        let (_, actions) = h.nodes.get_mut(&origin).unwrap().lookup_recursive(k);
         h.apply(origin, actions);
     }
     h.run_until(start + 120_000);

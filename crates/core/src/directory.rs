@@ -92,11 +92,7 @@ impl DirectoryIndex {
 
     /// Remove specific objects from a peer's entry (the peer evicted them
     /// under a bounded-cache policy and retracted the announcement).
-    pub fn retract_objects(
-        &mut self,
-        node: NodeId,
-        objects: impl IntoIterator<Item = ObjectId>,
-    ) {
+    pub fn retract_objects(&mut self, node: NodeId, objects: impl IntoIterator<Item = ObjectId>) {
         let Some(entry) = self.peers.get_mut(&node) else {
             return;
         };

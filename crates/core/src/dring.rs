@@ -166,9 +166,7 @@ mod tests {
     fn website_blocks_spread_over_the_ring() {
         // The top quarter and bottom quarter of the ring should both be
         // populated by the 100 paper websites.
-        let ids: Vec<u64> = (0..100u16)
-            .map(|w| pos(w, 0, 0).chord_id().0)
-            .collect();
+        let ids: Vec<u64> = (0..100u16).map(|w| pos(w, 0, 0).chord_id().0).collect();
         let lo = ids.iter().filter(|&&x| x < u64::MAX / 4).count();
         let hi = ids.iter().filter(|&&x| x > u64::MAX / 4 * 3).count();
         assert!(lo >= 10, "only {lo} websites in the low quarter");

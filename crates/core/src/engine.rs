@@ -2,13 +2,14 @@
 //! initial D-ring, churn schedule, origin servers), runs it, and collects
 //! the measurement records.
 
+use std::cell::RefCell;
 use std::rc::Rc;
 
+use cdn_metrics::{GaugeRegistry, QueryRecord, QueryStats};
 use chord::{Chord, NodeRef};
-use cdn_metrics::{QueryRecord, QueryStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use simnet::{LocalityId, NodeId, Point, Time, Topology, World};
+use simnet::{ClassCountSink, LocalityId, NodeId, Point, Time, Topology, TraceSink, World};
 use workload::{generate_sessions, Catalog, WebsiteId};
 
 use crate::bootstrap::{Bootstrap, SharedBootstrap};
@@ -27,11 +28,69 @@ pub enum Control {
     /// The session of `node` expires: silent failure (§6.1 — peers never
     /// leave gracefully in the headline runs).
     Fail(NodeId),
+    /// Periodic gauge-sampling tick; armed by [`FlowerSim::enable_gauges`]
+    /// and self-rescheduling.
+    Sample,
+}
+
+/// Sampling state behind `enable_gauges`: the shared registry the samples
+/// land in, plus the per-class delivery counter used to turn cumulative
+/// counts into rates.
+pub(crate) struct GaugeState {
+    pub(crate) period_ms: u64,
+    pub(crate) registry: Rc<RefCell<GaugeRegistry>>,
+    class_counts: ClassCountSink,
+    last_counts: std::collections::BTreeMap<&'static str, u64>,
+}
+
+impl GaugeState {
+    pub(crate) fn new(period_ms: u64, class_counts: ClassCountSink) -> GaugeState {
+        assert!(period_ms > 0, "gauge period must be positive");
+        GaugeState {
+            period_ms,
+            registry: Rc::new(RefCell::new(GaugeRegistry::new())),
+            class_counts,
+            last_counts: std::collections::BTreeMap::new(),
+        }
+    }
+
+    pub(crate) fn record(&self, name: &str, at_ms: u64, value: f64) {
+        self.registry.borrow_mut().record(name, at_ms, value);
+    }
+
+    /// Record one `rate/<class>` point (messages per second delivered since
+    /// the previous sample) for every protocol class seen so far.
+    pub(crate) fn sample_message_rates(&mut self, at_ms: u64) {
+        let counts = self.class_counts.counts();
+        let secs = self.period_ms as f64 / 1000.0;
+        {
+            let mut reg = self.registry.borrow_mut();
+            for (class, &total) in &counts {
+                let prev = self.last_counts.get(class).copied().unwrap_or(0);
+                reg.record(
+                    &format!("rate/{class}"),
+                    at_ms,
+                    (total - prev) as f64 / secs,
+                );
+            }
+        }
+        self.last_counts = counts;
+    }
+
+    /// Snapshot of the accumulated series for a finished run.
+    pub(crate) fn snapshot(&self) -> GaugeRegistry {
+        self.registry.borrow().clone()
+    }
 }
 
 /// Everything a finished run produced.
 pub struct RunResult {
-    /// Count per low-level protocol event (diagnostics).
+    /// Count per low-level protocol event (diagnostics). The map is
+    /// sparse: a key is present iff the event was reported at least once
+    /// during the run, so a missing key means zero occurrences. Counts
+    /// cover the whole run regardless of warm-up windows, and Squirrel
+    /// runs map their own events onto this shared vocabulary so both
+    /// systems are inspectable the same way.
     pub events: std::collections::BTreeMap<crate::peer::ProtocolEvent, u64>,
     /// One record per completed object query (active websites only).
     pub records: Vec<QueryRecord>,
@@ -47,6 +106,10 @@ pub struct RunResult {
     /// "incurred overhead" axis. Includes everything: maintenance
     /// (gossip, keepalive, push, DHT stabilization) and query traffic.
     pub messages_delivered: u64,
+    /// Sampled gauge series (population, D-ring size, petal sizes,
+    /// per-class message rates). Empty unless `enable_gauges` was called
+    /// before the run.
+    pub gauges: GaugeRegistry,
 }
 
 impl RunResult {
@@ -59,9 +122,7 @@ impl RunResult {
             self.messages_delivered as f64 / self.stats.queries as f64
         }
     }
-}
 
-impl RunResult {
     fn from_reports(
         records: Vec<QueryRecord>,
         replacements: u64,
@@ -69,6 +130,7 @@ impl RunResult {
         peak: usize,
         events: std::collections::BTreeMap<crate::peer::ProtocolEvent, u64>,
         messages_delivered: u64,
+        gauges: GaugeRegistry,
     ) -> Self {
         let mut stats = QueryStats::default();
         for r in &records {
@@ -82,6 +144,7 @@ impl RunResult {
             stats,
             peak_population: peak,
             messages_delivered,
+            gauges,
         }
     }
 }
@@ -95,6 +158,7 @@ pub struct FlowerSim {
     /// Per-website origin server coordinates.
     origins: Vec<Point>,
     engine_rng: StdRng,
+    gauges: Option<GaugeState>,
 }
 
 impl FlowerSim {
@@ -123,6 +187,7 @@ impl FlowerSim {
             world,
             origins,
             engine_rng,
+            gauges: None,
         };
         sim.build_initial_dring();
         sim.schedule_churn();
@@ -154,8 +219,7 @@ impl FlowerSim {
             let ring_idx = ring
                 .binary_search_by_key(&me_ref.id.0, |r| r.id.0)
                 .expect("member in ring");
-            let (chord, actions) =
-                Chord::converged(ring_idx, &ring, self.params.chord.clone());
+            let (chord, actions) = Chord::converged(ring_idx, &ring, self.params.chord.clone());
             let position = DirPosition::base(ws, loc);
             let at = self
                 .world
@@ -209,6 +273,50 @@ impl FlowerSim {
         }
     }
 
+    /// Attach a structured trace sink to the underlying world. Because
+    /// `new()` has already spawned the initial D-ring by the time a sink
+    /// can be attached, the current world state is replayed into the sink
+    /// first (one `NodeSpawn` per live node, then one `became_directory`
+    /// per held position), so stateful sinks such as the invariant checker
+    /// start from a consistent picture.
+    pub fn add_trace_sink(&mut self, mut sink: impl TraceSink + 'static) {
+        let now = self.world.now();
+        for (id, _) in self.world.live_nodes() {
+            let locality = self.world.topology().locality(id);
+            sink.event(now, &simnet::TraceEvent::NodeSpawn { node: id, locality });
+        }
+        for (id, pos, _) in self.directories() {
+            let mut fields = crate::tags::pos_fields(pos);
+            fields.push(("replacement", false.into()));
+            fields.push(("replayed", true.into()));
+            sink.event(
+                now,
+                &simnet::TraceEvent::Custom {
+                    node: id,
+                    name: crate::tags::BECAME_DIRECTORY,
+                    fields,
+                },
+            );
+        }
+        self.world.add_trace_sink(Box::new(sink));
+    }
+
+    /// Turn on periodic gauge sampling: every `period_ms` of virtual time
+    /// the engine records live population, D-ring size, petal size
+    /// statistics and per-class message rates. Returns a handle to the
+    /// registry; [`RunResult::gauges`] carries the same series after
+    /// `finish()`.
+    pub fn enable_gauges(&mut self, period_ms: u64) -> Rc<RefCell<GaugeRegistry>> {
+        let counts = ClassCountSink::new();
+        self.world.add_trace_sink(Box::new(counts.clone()));
+        let state = GaugeState::new(period_ms, counts);
+        let registry = Rc::clone(&state.registry);
+        self.world
+            .schedule_control(self.world.now() + period_ms, Control::Sample);
+        self.gauges = Some(state);
+        registry
+    }
+
     /// Run to the configured horizon and collect results.
     pub fn run(mut self) -> RunResult {
         let horizon = Time::from_millis(self.params.horizon_ms);
@@ -224,6 +332,7 @@ impl FlowerSim {
         let origins = self.origins.clone();
         // engine_rng is used inside the control handler: split it out.
         let mut rng = self.engine_rng.clone();
+        let mut gauges = self.gauges.take();
         self.world.run(t, |world, control| match control {
             Control::Spawn {
                 website,
@@ -239,9 +348,7 @@ impl FlowerSim {
                     website,
                     origin_latency_ms,
                 };
-                let id = world.spawn(at, |me, locality| {
-                    FlowerPeer::new_client(pcx, me, locality)
-                });
+                let id = world.spawn(at, |me, locality| FlowerPeer::new_client(pcx, me, locality));
                 let fail_at = world.now() + lifetime_ms;
                 world.schedule_control(fail_at, Control::Fail(id));
             }
@@ -250,8 +357,15 @@ impl FlowerSim {
                 // The rendezvous service health-checks its entries.
                 bootstrap.borrow_mut().remove(id);
             }
+            Control::Sample => {
+                if let Some(g) = gauges.as_mut() {
+                    sample_flower_gauges(g, world);
+                    world.schedule_control(world.now() + g.period_ms, Control::Sample);
+                }
+            }
         });
         self.engine_rng = rng;
+        self.gauges = gauges;
     }
 
     /// Current virtual time.
@@ -346,8 +460,14 @@ impl FlowerSim {
 
     /// Consume the simulation and aggregate everything.
     pub fn finish(mut self) -> RunResult {
+        self.world.flush_trace_sinks();
         let peak = self.world.live_count();
         let messages = self.world.stats().delivered;
+        let gauges = self
+            .gauges
+            .as_ref()
+            .map(GaugeState::snapshot)
+            .unwrap_or_default();
         let mut records = Vec::new();
         let mut replacements = 0u64;
         let mut splits = 0u64;
@@ -365,8 +485,45 @@ impl FlowerSim {
                 FlowerReport::Event(e) => *events.entry(e).or_default() += 1,
             }
         }
-        RunResult::from_reports(records, replacements, splits, peak, events, messages)
+        RunResult::from_reports(
+            records,
+            replacements,
+            splits,
+            peak,
+            events,
+            messages,
+            gauges,
+        )
     }
+}
+
+/// One gauge sample of a Flower-CDN world: population, D-ring size, petal
+/// size statistics, and per-class delivery rates.
+fn sample_flower_gauges(g: &mut GaugeState, world: &World<FlowerPeer, Control>) {
+    let at = world.now().as_millis();
+    let mut pop = 0usize;
+    let mut dirs = 0usize;
+    let mut petal_total = 0usize;
+    let mut petal_max = 0usize;
+    for (_, p) in world.live_nodes() {
+        pop += 1;
+        if p.is_directory() {
+            dirs += 1;
+            let load = p.directory_load().unwrap_or(0);
+            petal_total += load;
+            petal_max = petal_max.max(load);
+        }
+    }
+    g.record("population", at, pop as f64);
+    g.record("dring_size", at, dirs as f64);
+    g.record("petal_size_max", at, petal_max as f64);
+    let mean = if dirs == 0 {
+        0.0
+    } else {
+        petal_total as f64 / dirs as f64
+    };
+    g.record("petal_size_mean", at, mean);
+    g.sample_message_rates(at);
 }
 
 #[cfg(test)]
@@ -398,6 +555,35 @@ mod tests {
             result.stats.hit_ratio()
         );
         assert!(result.stats.mean_lookup_ms() > 0.0);
+    }
+
+    #[test]
+    fn gauges_sample_population_and_message_rates() {
+        let mut params = SimParams::quick(60, 30 * 60_000);
+        params.seed = 9;
+        let mut sim = FlowerSim::new(params);
+        let live = sim.enable_gauges(5 * 60_000);
+        sim.run_until(Time::from_millis(30 * 60_000));
+        // The live handle already carries the series mid-run.
+        let mid_len = live.borrow().series("population").map_or(0, |s| s.len());
+        assert!(
+            mid_len >= 5,
+            "expected ≥5 samples over 30 min, got {mid_len}"
+        );
+        let result = sim.finish();
+        let pop = result
+            .gauges
+            .series("population")
+            .expect("population series");
+        assert_eq!(pop.len(), mid_len);
+        assert!(pop.iter().all(|&(_, v)| v > 0.0));
+        assert!(result.gauges.series("dring_size").is_some());
+        assert!(result.gauges.series("petal_size_mean").is_some());
+        assert!(
+            result.gauges.names().iter().any(|n| n.starts_with("rate/")),
+            "expected per-class message-rate series, got {:?}",
+            result.gauges.names()
+        );
     }
 
     #[test]

@@ -37,14 +37,68 @@ pub struct ComparisonRun {
     pub squirrel: RunResult,
 }
 
+/// Observability knobs for comparison runs — what the bench harness's
+/// `--trace-out` and `--gauges` flags map to.
+#[derive(Debug, Clone, Default)]
+pub struct Instrumentation {
+    /// Stream every trace event of the Flower-CDN run as JSON lines to
+    /// this path; the Squirrel run gets a `.squirrel.jsonl` sibling.
+    pub trace_out: Option<std::path::PathBuf>,
+    /// Sample gauge series (population, D-ring size, petal sizes, message
+    /// rates) with this period, landing in [`RunResult::gauges`].
+    pub gauge_period_ms: Option<u64>,
+}
+
+impl Instrumentation {
+    fn apply_flower(&self, sim: &mut FlowerSim) {
+        if let Some(path) = &self.trace_out {
+            let w = cdn_metrics::JsonlTraceWriter::create(path).expect("create trace file");
+            sim.add_trace_sink(w);
+        }
+        if let Some(period) = self.gauge_period_ms {
+            sim.enable_gauges(period);
+        }
+    }
+
+    fn apply_squirrel(&self, sim: &mut SquirrelSim) {
+        if let Some(path) = &self.trace_out {
+            let sibling = path.with_extension("squirrel.jsonl");
+            let w = cdn_metrics::JsonlTraceWriter::create(sibling).expect("create trace file");
+            sim.add_trace_sink(w);
+        }
+        if let Some(period) = self.gauge_period_ms {
+            sim.enable_gauges(period);
+        }
+    }
+}
+
 /// Run Flower-CDN and Squirrel side by side (two OS threads).
 pub fn run_comparison(params: SimParams) -> ComparisonRun {
+    run_comparison_instrumented(params, Instrumentation::default())
+}
+
+/// [`run_comparison`] with tracing and gauge sampling attached to both
+/// systems as requested.
+pub fn run_comparison_instrumented(params: SimParams, inst: Instrumentation) -> ComparisonRun {
     let (flower, squirrel) = std::thread::scope(|s| {
         let pf = params.clone();
         let ps = params.clone();
-        let hf = s.spawn(move || FlowerSim::new(pf).run());
-        let hs = s.spawn(move || SquirrelSim::new(ps, SquirrelMode::Directory).run());
-        (hf.join().expect("flower run"), hs.join().expect("squirrel run"))
+        let inst_f = inst.clone();
+        let inst_s = inst;
+        let hf = s.spawn(move || {
+            let mut sim = FlowerSim::new(pf);
+            inst_f.apply_flower(&mut sim);
+            sim.run()
+        });
+        let hs = s.spawn(move || {
+            let mut sim = SquirrelSim::new(ps, SquirrelMode::Directory);
+            inst_s.apply_squirrel(&mut sim);
+            sim.run()
+        });
+        (
+            hf.join().expect("flower run"),
+            hs.join().expect("squirrel run"),
+        )
     });
     ComparisonRun {
         params,
@@ -106,9 +160,7 @@ pub fn table2_scalability(base: &SimParams, populations: &[usize]) -> Vec<Table2
                 handles.push(s.spawn(move || {
                     let result = match system {
                         System::FlowerCdn => FlowerSim::new(params).run(),
-                        System::Squirrel => {
-                            SquirrelSim::new(params, SquirrelMode::Directory).run()
-                        }
+                        System::Squirrel => SquirrelSim::new(params, SquirrelMode::Directory).run(),
                     };
                     Table2Row {
                         population: p,
@@ -120,7 +172,10 @@ pub fn table2_scalability(base: &SimParams, populations: &[usize]) -> Vec<Table2
                 }));
             }
         }
-        handles.into_iter().map(|h| h.join().expect("run")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("run"))
+            .collect()
     });
     rows.sort_by_key(|r| (r.population, r.system != System::Squirrel));
     rows

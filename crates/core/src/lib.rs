@@ -39,25 +39,33 @@
 pub mod bootstrap;
 pub mod config;
 pub mod directory;
-pub mod engine;
-pub mod experiments;
 pub mod dirinfo;
 pub mod dring;
+pub mod engine;
+pub mod experiments;
+pub mod invariants;
 pub mod maintenance;
 pub mod msg;
 pub mod peer;
+pub mod qid;
 pub mod query;
 pub mod squirrel;
 pub mod store;
+pub mod tags;
 
 pub use bootstrap::{Bootstrap, SharedBootstrap};
 pub use config::SimParams;
 pub use directory::{DirectoryIndex, DirectorySnapshot};
-pub use engine::{Control, FlowerSim, RunResult};
-pub use experiments::{run_comparison, table2_scalability, ComparisonRun, System, Table2Row};
 pub use dirinfo::DirInfo;
 pub use dring::DirPosition;
+pub use engine::{Control, FlowerSim, RunResult};
+pub use experiments::{
+    run_comparison, run_comparison_instrumented, table2_scalability, ComparisonRun,
+    Instrumentation, System, Table2Row,
+};
+pub use invariants::InvariantChecker;
 pub use msg::{FlowerMsg, FlowerTimer, RoutePayload, Summary};
 pub use peer::{FlowerPeer, FlowerReport, PeerCtx, Role};
+pub use qid::QueryId;
 pub use squirrel::{SquirrelMode, SquirrelSim};
 pub use store::{ContentStore, StorePolicy};

@@ -13,9 +13,21 @@ use crate::dirinfo::DirInfo;
 use crate::dring::DirPosition;
 use crate::msg::{FlowerMsg, FlowerTimer, Summary};
 use crate::peer::{DirectoryRole, FlowerPeer, FlowerReport, ProtocolEvent, Role};
+use crate::qid::QueryId;
+use crate::tags;
 
 /// Grants and promotions older than this are considered abandoned.
 const GRANT_TTL_MS: u64 = 60_000;
+
+/// Uniform jitter in roughly [0.9·period, 1.1·period). Clamped so the
+/// degenerate periods of quick-test configs (where `period * 9 / 10 ==
+/// period * 11 / 10` after integer division) never produce an empty range,
+/// which `gen_range` panics on.
+pub(crate) fn jittered_period(rng: &mut impl Rng, period: u64) -> u64 {
+    let lo = (period * 9 / 10).max(1);
+    let hi = (period * 11 / 10).max(lo + 1);
+    rng.gen_range(lo..hi)
+}
 
 impl FlowerPeer {
     // ==================================================================
@@ -27,10 +39,13 @@ impl FlowerPeer {
             return; // directories stop shuffling; clients haven't started
         }
         let period = self.pcx.params.gossip_period_ms;
-        let jitter = ctx.rng.gen_range(period * 9 / 10..period * 11 / 10);
+        let jitter = jittered_period(ctx.rng, period);
         ctx.set_timer(jitter, FlowerTimer::Gossip);
         let summary = self.store.summary();
         if let Some((target, msg, gen)) = self.gossip.start_shuffle(summary, ctx.rng) {
+            ctx.trace(tags::GOSSIP_SHUFFLE, || {
+                vec![("partner", target.into()), ("gen", gen.into())]
+            });
             ctx.send(
                 target,
                 FlowerMsg::Gossip {
@@ -106,7 +121,7 @@ impl FlowerPeer {
             return;
         }
         let period = self.pcx.params.gossip_period_ms;
-        let jitter = ctx.rng.gen_range(period * 9 / 10..period * 11 / 10);
+        let jitter = jittered_period(ctx.rng, period);
         ctx.set_timer(jitter, FlowerTimer::Keepalive);
         if let Some(di) = &mut self.dir_info {
             di.bump();
@@ -114,12 +129,21 @@ impl FlowerPeer {
             let seq = self.alloc_seq();
             self.awaiting_ack = Some(seq);
             let msg = if self.store.should_push(self.pcx.params.push_threshold) {
+                let objects = self.store.take_push_delta();
+                ctx.trace(tags::PUSH, || {
+                    vec![
+                        ("seq", seq.into()),
+                        ("objects", objects.len().into()),
+                        ("full", false.into()),
+                    ]
+                });
                 FlowerMsg::Push {
                     seq,
-                    objects: self.store.take_push_delta(),
+                    objects,
                     full: false,
                 }
             } else {
+                ctx.trace(tags::KEEPALIVE, || vec![("seq", seq.into())]);
                 FlowerMsg::Keepalive { seq }
             };
             ctx.send(holder, msg);
@@ -152,11 +176,19 @@ impl FlowerPeer {
         };
         let seq = self.alloc_seq();
         self.awaiting_ack = Some(seq);
+        let objects = self.store.take_push_delta();
+        ctx.trace(tags::PUSH, || {
+            vec![
+                ("seq", seq.into()),
+                ("objects", objects.len().into()),
+                ("full", false.into()),
+            ]
+        });
         ctx.send(
             di.holder.node,
             FlowerMsg::Push {
                 seq,
-                objects: self.store.take_push_delta(),
+                objects,
                 full: false,
             },
         );
@@ -245,6 +277,11 @@ impl FlowerPeer {
             return;
         };
         ctx.report(FlowerReport::Event(ProtocolEvent::ClaimStarted));
+        ctx.trace(tags::CLAIM_STARTED, || {
+            let mut f = tags::pos_fields(position);
+            f.push(("attempt", attempts.into()));
+            f
+        });
         self.claim = Some(crate::peer::PendingClaim {
             seq,
             position,
@@ -297,12 +334,22 @@ impl FlowerPeer {
             // petal peers that lost track — welcome it back (§5.2.2).
             let holder = d.chord.me();
             d.index.register_peer(claimer, now.as_millis());
+            ctx.trace(tags::CLAIM_DENIED, || {
+                let mut f = tags::pos_fields(position);
+                f.push(("holder", holder.node.into()));
+                f
+            });
             ctx.send(claimer, FlowerMsg::ClaimDenied { position, holder });
             return;
         }
         if let Some(holder) = d.chord.known_node_with_id(key) {
             // We can see a live-believed holder of the exact position:
             // deny with it instead of risking a duplicate grant.
+            ctx.trace(tags::CLAIM_DENIED, || {
+                let mut f = tags::pos_fields(position);
+                f.push(("holder", holder.node.into()));
+                f
+            });
             ctx.send(claimer, FlowerMsg::ClaimDenied { position, holder });
             return;
         }
@@ -323,15 +370,23 @@ impl FlowerPeer {
             return;
         }
         match d.grants.get(&key) {
-            Some(&(granted, at))
-                if granted != claimer && now.since(at) < GRANT_TTL_MS =>
-            {
+            Some(&(granted, at)) if granted != claimer && now.since(at) < GRANT_TTL_MS => {
                 let holder = NodeRef::new(granted, key);
+                ctx.trace(tags::CLAIM_DENIED, || {
+                    let mut f = tags::pos_fields(position);
+                    f.push(("holder", holder.node.into()));
+                    f
+                });
                 ctx.send(claimer, FlowerMsg::ClaimDenied { position, holder });
             }
             _ => {
                 d.grants.insert(key, (claimer, now));
                 let seed = d.chord.me();
+                ctx.trace(tags::CLAIM_GRANTED, || {
+                    let mut f = tags::pos_fields(position);
+                    f.push(("claimer", claimer.into()));
+                    f
+                });
                 ctx.send(claimer, FlowerMsg::ClaimGranted { position, seed });
             }
         }
@@ -348,7 +403,7 @@ impl FlowerPeer {
         client: NodeId,
         website: WebsiteId,
         locality: LocalityId,
-        qid: u64,
+        qid: QueryId,
         hops: u32,
     ) {
         let now = ctx.now();
@@ -396,6 +451,11 @@ impl FlowerPeer {
             _ => {
                 d.grants.insert(key, (client, now));
                 let seed = d.chord.me();
+                ctx.trace(tags::CLAIM_GRANTED, || {
+                    let mut f = tags::pos_fields(position);
+                    f.push(("claimer", client.into()));
+                    f
+                });
                 ctx.send(client, FlowerMsg::ClaimGranted { position, seed });
             }
         }
@@ -441,11 +501,19 @@ impl FlowerPeer {
             self.store.mark_all_unpushed();
             let seq = self.alloc_seq();
             self.awaiting_ack = Some(seq);
+            let objects = self.store.take_push_delta();
+            ctx.trace(tags::PUSH, || {
+                vec![
+                    ("seq", seq.into()),
+                    ("objects", objects.len().into()),
+                    ("full", true.into()),
+                ]
+            });
             ctx.send(
                 holder.node,
                 FlowerMsg::Push {
                     seq,
-                    objects: self.store.take_push_delta(),
+                    objects,
                     full: true,
                 },
             );
@@ -484,6 +552,19 @@ impl FlowerPeer {
         d.index.remove_peer(chosen);
         let seed = d.chord.me();
         let from = d.position;
+        ctx.trace(tags::PETAL_SPLIT, || {
+            vec![
+                ("ws", from.website.0.into()),
+                ("loc", from.locality.0.into()),
+                ("from_inst", from.instance.into()),
+                ("to_inst", next_pos.instance.into()),
+            ]
+        });
+        ctx.trace(tags::PROMOTE, || {
+            let mut f = tags::pos_fields(next_pos);
+            f.push(("member", chosen.into()));
+            f
+        });
         ctx.send(
             chosen,
             FlowerMsg::Promote {
@@ -492,10 +573,7 @@ impl FlowerPeer {
                 snapshot: None,
             },
         );
-        ctx.report(FlowerReport::PetalSplit {
-            from,
-            to: next_pos,
-        });
+        ctx.report(FlowerReport::PetalSplit { from, to: next_pos });
     }
 
     /// A directory chose us: PetalUp promotion (no snapshot — we keep using
@@ -551,6 +629,13 @@ impl FlowerPeer {
         self.dir_info = None;
         self.awaiting_ack = None;
         self.claim = None;
+        let had_snapshot = snapshot.is_some();
+        ctx.trace(tags::BECAME_DIRECTORY, || {
+            let mut f = tags::pos_fields(position);
+            f.push(("replacement", replacement.into()));
+            f.push(("snapshot", had_snapshot.into()));
+            f
+        });
         self.apply_chord_actions(ctx, actions);
         let sweep = self.pcx.params.rpc_timeout_ms * 20;
         ctx.set_timer(sweep, FlowerTimer::DirSweep);
@@ -637,6 +722,10 @@ impl FlowerPeer {
     /// deregister from the rendezvous service, and re-enter the petal as a
     /// fresh client (our store is re-announced on arrival).
     pub(crate) fn demote_to_client(&mut self, ctx: &mut Ctx<Self>) {
+        if let Role::Directory(d) = &self.role {
+            let pos = d.position;
+            ctx.trace(tags::DEMOTED, || tags::pos_fields(pos));
+        }
         self.pcx.bootstrap.borrow_mut().remove(self.me);
         self.role = Role::Client;
         self.dir_info = None;

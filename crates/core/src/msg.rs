@@ -9,6 +9,7 @@ use workload::{ObjectId, WebsiteId};
 use crate::directory::DirectorySnapshot;
 use crate::dirinfo::DirInfo;
 use crate::dring::DirPosition;
+use crate::qid::QueryId;
 
 /// A peer's content summary as carried in gossip views.
 pub type Summary = BloomFilter;
@@ -24,7 +25,7 @@ pub enum RoutePayload {
         website: WebsiteId,
         locality: LocalityId,
         object: Option<ObjectId>,
-        qid: u64,
+        qid: QueryId,
     },
     /// A claim on a (presumed vacant) directory position (§5.2.2). The
     /// first claim to reach the position's ring owner wins.
@@ -63,11 +64,11 @@ pub enum FlowerMsg {
         hops: u32,
     },
     /// The bootstrap could not route (D-ring lookup failed).
-    RouteFailed { req_qid: u64 },
+    RouteFailed { req_qid: QueryId },
     /// A directory peer answers a query: where to get the object. Also the
     /// join ticket into the petal (`dir` + `petal_view`).
     Redirect {
-        qid: u64,
+        qid: QueryId,
         object: Option<ObjectId>,
         /// `None`: fetch from the origin server (miss).
         provider: Option<NodeId>,
@@ -82,7 +83,7 @@ pub enum FlowerMsg {
     /// restricts it to the instance it joined through). `exclude` lists
     /// providers that already failed the client on this query.
     DirQuery {
-        qid: u64,
+        qid: QueryId,
         object: ObjectId,
         exclude: Vec<NodeId>,
     },
@@ -92,7 +93,7 @@ pub enum FlowerMsg {
     /// directly with the original directory's join ticket.
     SiblingQuery {
         client: NodeId,
-        qid: u64,
+        qid: QueryId,
         object: ObjectId,
         dir: DirInfo,
         petal_view: Vec<(NodeId, Summary)>,
@@ -107,15 +108,21 @@ pub enum FlowerMsg {
     Retract { objects: Vec<ObjectId> },
     /// Position claim granted: claimer may join D-ring at the position,
     /// using `seed` as its Chord bootstrap.
-    ClaimGranted { position: DirPosition, seed: NodeRef },
+    ClaimGranted {
+        position: DirPosition,
+        seed: NodeRef,
+    },
     /// Claim denied: the position is already held by `holder`.
-    ClaimDenied { position: DirPosition, holder: NodeRef },
+    ClaimDenied {
+        position: DirPosition,
+        holder: NodeRef,
+    },
     /// Object transfer request…
-    Fetch { qid: u64, object: ObjectId },
+    Fetch { qid: QueryId, object: ObjectId },
     /// …granted (the object travels back)…
-    FetchOk { qid: u64, object: ObjectId },
+    FetchOk { qid: QueryId, object: ObjectId },
     /// …or refused (summary false positive / stale index entry).
-    FetchMiss { qid: u64, object: ObjectId },
+    FetchMiss { qid: QueryId, object: ObjectId },
     /// Petal gossip: a Cyclon shuffle half, piggybacking the sender's
     /// dir-info (§5.1).
     Gossip {
@@ -144,6 +151,35 @@ pub enum FlowerMsg {
     },
 }
 
+impl FlowerMsg {
+    /// Stable protocol-class label of this message, used as the `class`
+    /// field of [`simnet::TraceEvent`] send/deliver/drop events and as the
+    /// key of per-class message-rate gauges.
+    pub fn class(&self) -> &'static str {
+        match self {
+            FlowerMsg::Chord(m) => m.class(),
+            FlowerMsg::DRingRoute { .. } => "dring_route",
+            FlowerMsg::Routed { .. } => "routed",
+            FlowerMsg::RouteFailed { .. } => "route_failed",
+            FlowerMsg::Redirect { .. } => "redirect",
+            FlowerMsg::DirQuery { .. } => "dir_query",
+            FlowerMsg::SiblingQuery { .. } => "sibling_query",
+            FlowerMsg::DeadPeerReport { .. } => "dead_peer_report",
+            FlowerMsg::Retract { .. } => "retract",
+            FlowerMsg::ClaimGranted { .. } => "claim_granted",
+            FlowerMsg::ClaimDenied { .. } => "claim_denied",
+            FlowerMsg::Fetch { .. } => "fetch",
+            FlowerMsg::FetchOk { .. } => "fetch_ok",
+            FlowerMsg::FetchMiss { .. } => "fetch_miss",
+            FlowerMsg::Gossip { .. } => "gossip",
+            FlowerMsg::Keepalive { .. } => "keepalive",
+            FlowerMsg::Push { .. } => "push",
+            FlowerMsg::DirAck { .. } => "dir_ack",
+            FlowerMsg::Promote { .. } => "promote",
+        }
+    }
+}
+
 /// Timers of a Flower-CDN peer.
 #[derive(Debug, Clone)]
 pub enum FlowerTimer {
@@ -160,12 +196,12 @@ pub enum FlowerTimer {
     /// The directory failed to acknowledge keepalive/push `seq`.
     DirAckDeadline { seq: u64 },
     /// A fetch was not answered.
-    FetchDeadline { qid: u64, attempt: u32 },
+    FetchDeadline { qid: QueryId, attempt: u32 },
     /// A routed request (D-ring query / DirQuery) was not answered.
-    RouteDeadline { qid: u64 },
+    RouteDeadline { qid: QueryId },
     /// The origin-server round trip completed (origin fetches are modelled
     /// as a latency, not as messages — the origin is not a peer).
-    OriginDone { qid: u64 },
+    OriginDone { qid: QueryId },
     /// Periodic directory housekeeping: index expiry, grant expiry.
     DirSweep,
     /// A position claim received no verdict.
@@ -173,4 +209,24 @@ pub enum FlowerTimer {
     /// Periodic directory self-check: verify we are still reachable as the
     /// ring owner of our position; demote otherwise (ghost-holder purge).
     PositionCheck,
+}
+
+impl FlowerTimer {
+    /// Stable class label, used by [`simnet::TraceEvent`] timer events.
+    pub fn class(&self) -> &'static str {
+        match self {
+            FlowerTimer::Chord(t) => t.class(),
+            FlowerTimer::Query => "query",
+            FlowerTimer::Gossip => "gossip",
+            FlowerTimer::GossipDeadline { .. } => "gossip_deadline",
+            FlowerTimer::Keepalive => "keepalive",
+            FlowerTimer::DirAckDeadline { .. } => "dir_ack_deadline",
+            FlowerTimer::FetchDeadline { .. } => "fetch_deadline",
+            FlowerTimer::RouteDeadline { .. } => "route_deadline",
+            FlowerTimer::OriginDone { .. } => "origin_done",
+            FlowerTimer::DirSweep => "dir_sweep",
+            FlowerTimer::ClaimDeadline { .. } => "claim_deadline",
+            FlowerTimer::PositionCheck => "position_check",
+        }
+    }
 }

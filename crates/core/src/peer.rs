@@ -10,8 +10,8 @@
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use chord::{Chord, ChordAction, ChordId, NodeRef};
 use cdn_metrics::QueryRecord;
+use chord::{Chord, ChordAction, ChordId, NodeRef};
 use gossip::{Cyclon, ShuffleMode};
 use rand::Rng;
 use simnet::{Ctx, LocalityId, Node, NodeId, Time};
@@ -23,7 +23,9 @@ use crate::directory::DirectoryIndex;
 use crate::dirinfo::DirInfo;
 use crate::dring::DirPosition;
 use crate::msg::{FlowerMsg, FlowerTimer, RoutePayload, Summary};
+use crate::qid::QueryId;
 use crate::store::ContentStore;
+use crate::tags;
 
 /// Immutable per-peer context handed in by the experiment engine.
 #[derive(Clone)]
@@ -117,7 +119,7 @@ pub enum Role {
 /// Outstanding query state (at most one per peer; the 6-minute query period
 /// dwarfs every latency involved).
 pub struct PendingQuery {
-    pub qid: u64,
+    pub qid: QueryId,
     /// `None` = pure petal-join request (non-active websites).
     pub object: Option<ObjectId>,
     pub issued_at: Time,
@@ -166,7 +168,7 @@ pub struct FlowerPeer {
     pub(crate) dir_info: Option<DirInfo>,
     pub(crate) role: Role,
     pub(crate) pending: Option<PendingQuery>,
-    pub(crate) next_qid: u64,
+    pub(crate) next_qid: u32,
     pub(crate) ka_seq: u64,
     pub(crate) awaiting_ack: Option<u64>,
     pub(crate) claim: Option<PendingClaim>,
@@ -281,9 +283,9 @@ impl FlowerPeer {
     // Small shared helpers
     // ------------------------------------------------------------------
 
-    pub(crate) fn alloc_qid(&mut self) -> u64 {
+    pub(crate) fn alloc_qid(&mut self) -> QueryId {
         self.next_qid += 1;
-        self.next_qid
+        QueryId::new(self.me, self.next_qid)
     }
 
     pub(crate) fn alloc_seq(&mut self) -> u64 {
@@ -389,6 +391,17 @@ impl FlowerPeer {
             return; // internal chord lookup (join / fingers)
         };
         let hops = hops + self.route_hops.remove(&token).unwrap_or(0);
+        ctx.trace(tags::ROUTE_DONE, || {
+            let mut f = vec![
+                ("key", key.0.into()),
+                ("owner", owner.node.into()),
+                ("hops", hops.into()),
+            ];
+            if let RoutePayload::ClientRequest { qid, .. } = &payload {
+                f.push(("qid", qid.raw().into()));
+            }
+            f
+        });
         if owner.node == self.me {
             self.handle_routed(ctx, key, payload, hops);
         } else {
@@ -408,6 +421,13 @@ impl FlowerPeer {
         let Some(payload) = d.route_jobs.remove(&token) else {
             return;
         };
+        ctx.trace(tags::ROUTE_FAILED, || {
+            let mut f = Vec::new();
+            if let RoutePayload::ClientRequest { qid, .. } = &payload {
+                f.push(("qid", qid.raw().into()));
+            }
+            f
+        });
         if let RoutePayload::ClientRequest { client, qid, .. } = payload {
             ctx.send(client, FlowerMsg::RouteFailed { req_qid: qid });
         }
@@ -457,9 +477,8 @@ impl FlowerPeer {
                 locality,
                 object,
                 qid,
-            } => self.on_routed_client_request(
-                ctx, key, client, website, locality, object, qid, hops,
-            ),
+            } => self
+                .on_routed_client_request(ctx, key, client, website, locality, object, qid, hops),
             RoutePayload::Claim { claimer, position } => {
                 self.on_routed_claim(ctx, claimer, position, hops)
             }
@@ -504,7 +523,14 @@ impl Node for FlowerPeer {
     fn on_start(&mut self, ctx: &mut Ctx<Self>) {
         let startup = std::mem::take(&mut self.startup_chord_actions);
         match &self.role {
-            Role::Directory(_) => {
+            Role::Directory(d) => {
+                let pos = d.position;
+                ctx.trace(tags::BECAME_DIRECTORY, || {
+                    let mut f = tags::pos_fields(pos);
+                    f.push(("replacement", false.into()));
+                    f.push(("snapshot", false.into()));
+                    f
+                });
                 self.apply_chord_actions(ctx, startup);
                 let sweep = self.pcx.params.rpc_timeout_ms * 20;
                 ctx.set_timer(sweep, FlowerTimer::DirSweep);
@@ -536,9 +562,7 @@ impl Node for FlowerPeer {
                 }
             }
             FlowerMsg::DRingRoute { key, payload } => self.on_dring_route(ctx, key, payload),
-            FlowerMsg::Routed { key, payload, hops } => {
-                self.handle_routed(ctx, key, payload, hops)
-            }
+            FlowerMsg::Routed { key, payload, hops } => self.handle_routed(ctx, key, payload, hops),
             FlowerMsg::RouteFailed { req_qid } => self.on_route_failed(ctx, req_qid),
             FlowerMsg::Redirect {
                 qid,
@@ -589,13 +613,9 @@ impl Node for FlowerPeer {
             }
             FlowerMsg::FetchOk { qid, object } => self.on_fetch_ok(ctx, from, qid, object),
             FlowerMsg::FetchMiss { qid, .. } => self.on_fetch_failed(ctx, qid, from, false),
-            FlowerMsg::Gossip { inner, dir_info } => {
-                self.on_gossip(ctx, from, inner, dir_info)
-            }
+            FlowerMsg::Gossip { inner, dir_info } => self.on_gossip(ctx, from, inner, dir_info),
             FlowerMsg::Keepalive { seq } => self.on_keepalive(ctx, from, seq),
-            FlowerMsg::Push { seq, objects, full } => {
-                self.on_push(ctx, from, seq, objects, full)
-            }
+            FlowerMsg::Push { seq, objects, full } => self.on_push(ctx, from, seq, objects, full),
             FlowerMsg::DirAck { seq, dir } => self.on_dir_ack(ctx, seq, dir),
             FlowerMsg::Promote {
                 position,
@@ -629,6 +649,14 @@ impl Node for FlowerPeer {
             FlowerTimer::ClaimDeadline { claim_seq } => self.on_claim_deadline(ctx, claim_seq),
             FlowerTimer::PositionCheck => self.on_position_check(ctx),
         }
+    }
+
+    fn msg_class(msg: &FlowerMsg) -> &'static str {
+        msg.class()
+    }
+
+    fn timer_class(timer: &FlowerTimer) -> &'static str {
+        timer.class()
     }
 
     fn on_leave(&mut self, ctx: &mut Ctx<Self>) {

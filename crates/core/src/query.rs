@@ -17,6 +17,8 @@ use crate::dirinfo::DirInfo;
 use crate::dring::DirPosition;
 use crate::msg::{FlowerMsg, FlowerTimer, RoutePayload, Summary};
 use crate::peer::{FlowerPeer, FlowerReport, PendingQuery, ProtocolEvent, QueryPhase, Role};
+use crate::qid::QueryId;
+use crate::tags;
 
 impl FlowerPeer {
     // ==================================================================
@@ -41,6 +43,13 @@ impl FlowerPeer {
             return; // local store covers the whole site
         };
         let qid = self.alloc_qid();
+        ctx.trace(tags::QUERY_ISSUED, || {
+            vec![
+                ("qid", qid.raw().into()),
+                ("ws", website.0.into()),
+                ("object", object.as_u64().into()),
+            ]
+        });
         self.pending = Some(PendingQuery {
             qid,
             object: Some(object),
@@ -100,6 +109,9 @@ impl FlowerPeer {
                     object,
                     qid,
                 };
+                ctx.trace(tags::ROUTE_REQUEST, || {
+                    vec![("qid", qid.raw().into()), ("key", key.0.into())]
+                });
                 ctx.send(b.node, FlowerMsg::DRingRoute { key, payload });
                 let deadline = self.pcx.params.rpc_timeout_ms * 8;
                 ctx.set_timer(deadline, FlowerTimer::RouteDeadline { qid });
@@ -146,6 +158,9 @@ impl FlowerPeer {
         p.fetch_sent_at = ctx.now();
         p.fetch_attempts += 1;
         let (qid, attempt) = (p.qid, p.fetch_attempts);
+        ctx.trace(tags::FETCH, || {
+            vec![("qid", qid.raw().into()), ("provider", target.into())]
+        });
         ctx.send(target, FlowerMsg::Fetch { qid, object });
         ctx.set_timer(
             self.pcx.params.rpc_timeout_ms,
@@ -211,6 +226,7 @@ impl FlowerPeer {
         p.phase = QueryPhase::Origin;
         p.fetch_sent_at = ctx.now();
         let qid = p.qid;
+        ctx.trace(tags::ORIGIN_FETCH, || vec![("qid", qid.raw().into())]);
         let rtt = 2 * self.pcx.origin_latency_ms.max(1);
         ctx.set_timer(rtt, FlowerTimer::OriginDone { qid });
     }
@@ -220,7 +236,7 @@ impl FlowerPeer {
     pub(crate) fn on_redirect(
         &mut self,
         ctx: &mut Ctx<Self>,
-        qid: u64,
+        qid: QueryId,
         object: Option<ObjectId>,
         provider: Option<NodeId>,
         dir: DirInfo,
@@ -238,7 +254,9 @@ impl FlowerPeer {
             } else {
                 for (node, summary) in petal_view {
                     if node != self.me {
-                        self.gossip.view_mut().upsert(gossip::Entry::new(node, summary));
+                        self.gossip
+                            .view_mut()
+                            .upsert(gossip::Entry::new(node, summary));
                     }
                 }
             }
@@ -256,6 +274,9 @@ impl FlowerPeer {
                 p.fetch_sent_at = ctx.now();
                 p.fetch_attempts += 1;
                 let attempt = p.fetch_attempts;
+                ctx.trace(tags::FETCH, || {
+                    vec![("qid", qid.raw().into()), ("provider", target.into())]
+                });
                 ctx.send(target, FlowerMsg::Fetch { qid, object });
                 ctx.set_timer(
                     self.pcx.params.rpc_timeout_ms,
@@ -292,7 +313,7 @@ impl FlowerPeer {
     }
 
     /// The bootstrap could not route our request.
-    pub(crate) fn on_route_failed(&mut self, ctx: &mut Ctx<Self>, req_qid: u64) {
+    pub(crate) fn on_route_failed(&mut self, ctx: &mut Ctx<Self>, req_qid: QueryId) {
         let Some(p) = &mut self.pending else {
             return;
         };
@@ -309,7 +330,7 @@ impl FlowerPeer {
     }
 
     /// No Redirect arrived in time (bootstrap or directory unresponsive).
-    pub(crate) fn on_route_deadline(&mut self, ctx: &mut Ctx<Self>, qid: u64) {
+    pub(crate) fn on_route_deadline(&mut self, ctx: &mut Ctx<Self>, qid: QueryId) {
         let Some(p) = &mut self.pending else {
             return;
         };
@@ -338,7 +359,7 @@ impl FlowerPeer {
         &mut self,
         ctx: &mut Ctx<Self>,
         from: NodeId,
-        qid: u64,
+        qid: QueryId,
         object: ObjectId,
     ) {
         let Some(p) = &self.pending else {
@@ -347,6 +368,7 @@ impl FlowerPeer {
         if p.qid != qid || p.phase != QueryPhase::Fetching(from) {
             return;
         }
+        ctx.trace(tags::FETCH_OK, || vec![("qid", qid.raw().into())]);
         let one_way = (ctx.now() - p.fetch_sent_at) / 2;
         let provider_kind = if self.dir_info.is_some_and(|d| d.holder.node == from) {
             Provider::DirectoryPeer
@@ -360,7 +382,7 @@ impl FlowerPeer {
     pub(crate) fn on_fetch_failed(
         &mut self,
         ctx: &mut Ctx<Self>,
-        qid: u64,
+        qid: QueryId,
         provider: NodeId,
         timed_out: bool,
     ) {
@@ -371,6 +393,15 @@ impl FlowerPeer {
             return;
         }
         p.excluded.push(provider);
+        let attempt = p.fetch_attempts;
+        ctx.trace(
+            if timed_out {
+                tags::FETCH_TIMEOUT
+            } else {
+                tags::FETCH_MISS
+            },
+            || vec![("qid", qid.raw().into()), ("attempt", attempt.into())],
+        );
         ctx.report(FlowerReport::Event(if timed_out {
             ProtocolEvent::FetchTimeout
         } else {
@@ -400,7 +431,7 @@ impl FlowerPeer {
         self.ask_directory_or_fallback(ctx);
     }
 
-    pub(crate) fn on_fetch_deadline(&mut self, ctx: &mut Ctx<Self>, qid: u64, attempt: u32) {
+    pub(crate) fn on_fetch_deadline(&mut self, ctx: &mut Ctx<Self>, qid: QueryId, attempt: u32) {
         let Some(p) = &self.pending else {
             return;
         };
@@ -415,7 +446,7 @@ impl FlowerPeer {
 
     /// Origin round trip finished: a P2P miss, but the client now holds the
     /// object and becomes a provider for the petal.
-    pub(crate) fn on_origin_done(&mut self, ctx: &mut Ctx<Self>, qid: u64) {
+    pub(crate) fn on_origin_done(&mut self, ctx: &mut Ctx<Self>, qid: QueryId) {
         let Some(p) = &self.pending else {
             return;
         };
@@ -443,7 +474,8 @@ impl FlowerPeer {
         let evicted = self.store.insert_with_eviction(object);
         // Directory peers index their own store as petal content.
         if let Role::Directory(d) = &mut self.role {
-            d.index.record_objects(self.me, [object], ctx.now().as_millis());
+            d.index
+                .record_objects(self.me, [object], ctx.now().as_millis());
             if !evicted.is_empty() {
                 let me = self.me;
                 d.index.retract_objects(me, evicted.iter().copied());
@@ -463,6 +495,14 @@ impl FlowerPeer {
             provider,
             via: p.via,
         };
+        ctx.trace(tags::QUERY_COMPLETE, || {
+            let kind = match provider {
+                Provider::ContentPeer => "content_peer",
+                Provider::DirectoryPeer => "directory_peer",
+                Provider::OriginServer => "origin",
+            };
+            vec![("qid", p.qid.raw().into()), ("provider", kind.into())]
+        });
         ctx.report(FlowerReport::Query(record));
         self.maybe_push(ctx);
     }
@@ -497,6 +537,9 @@ impl FlowerPeer {
                 p.fetch_sent_at = ctx.now();
                 p.fetch_attempts += 1;
                 let attempt = p.fetch_attempts;
+                ctx.trace(tags::FETCH, || {
+                    vec![("qid", qid.raw().into()), ("provider", target.into())]
+                });
                 ctx.send(target, FlowerMsg::Fetch { qid, object });
                 ctx.set_timer(
                     self.pcx.params.rpc_timeout_ms,
@@ -512,7 +555,7 @@ impl FlowerPeer {
         &mut self,
         ctx: &mut Ctx<Self>,
         from: NodeId,
-        qid: u64,
+        qid: QueryId,
         object: ObjectId,
         client_exclude: Vec<NodeId>,
     ) {
@@ -536,17 +579,22 @@ impl FlowerPeer {
             .or(if store_has { Some(me) } else { None })
             .or_else(|| summary_match(&self.gossip, object, &exclude, ctx.rng));
         match provider {
-            Some(_) => ctx.send(
-                from,
-                FlowerMsg::Redirect {
-                    qid,
-                    object: Some(object),
-                    provider,
-                    dir: self_info,
-                    petal_view: Vec::new(),
-                    dht_hops: 0,
-                },
-            ),
+            Some(_) => {
+                ctx.trace(tags::REDIRECT, || {
+                    vec![("qid", qid.raw().into()), ("hit", true.into())]
+                });
+                ctx.send(
+                    from,
+                    FlowerMsg::Redirect {
+                        qid,
+                        object: Some(object),
+                        provider,
+                        dir: self_info,
+                        petal_view: Vec::new(),
+                        dht_hops: 0,
+                    },
+                )
+            }
             None => {
                 ctx.report(FlowerReport::Event(ProtocolEvent::DirNoProvider));
                 // §3.2 collaboration: walk the query through our
@@ -571,7 +619,7 @@ impl FlowerPeer {
         &mut self,
         ctx: &mut Ctx<Self>,
         client: NodeId,
-        qid: u64,
+        qid: QueryId,
         object: ObjectId,
         dir: DirInfo,
         petal_view: Vec<(NodeId, Summary)>,
@@ -583,6 +631,9 @@ impl FlowerPeer {
         let succ = d.chord.successor();
         let same_site = d.position.same_website(succ.id) && succ.node != self.me;
         if same_site {
+            ctx.trace(tags::SIBLING_FORWARD, || {
+                vec![("qid", qid.raw().into()), ("ttl", 6u64.into())]
+            });
             ctx.send(
                 succ.node,
                 FlowerMsg::SiblingQuery {
@@ -596,6 +647,9 @@ impl FlowerPeer {
                 },
             );
         } else {
+            ctx.trace(tags::REDIRECT, || {
+                vec![("qid", qid.raw().into()), ("hit", false.into())]
+            });
             ctx.send(
                 client,
                 FlowerMsg::Redirect {
@@ -616,7 +670,7 @@ impl FlowerPeer {
         &mut self,
         ctx: &mut Ctx<Self>,
         client: NodeId,
-        qid: u64,
+        qid: QueryId,
         object: ObjectId,
         dir: DirInfo,
         petal_view: Vec<(NodeId, Summary)>,
@@ -637,6 +691,9 @@ impl FlowerPeer {
             .or(if store_has { Some(me) } else { None })
             .or_else(|| summary_match(&self.gossip, object, &exclude, ctx.rng));
         if provider.is_some() {
+            ctx.trace(tags::REDIRECT, || {
+                vec![("qid", qid.raw().into()), ("hit", true.into())]
+            });
             ctx.send(
                 client,
                 FlowerMsg::Redirect {
@@ -651,9 +708,14 @@ impl FlowerPeer {
             return;
         }
         let succ = d.chord.successor();
-        let keep_walking =
-            ttl > 0 && d.position.same_website(succ.id) && succ.node != self.me;
+        let keep_walking = ttl > 0 && d.position.same_website(succ.id) && succ.node != self.me;
         if keep_walking {
+            ctx.trace(tags::SIBLING_FORWARD, || {
+                vec![
+                    ("qid", qid.raw().into()),
+                    ("ttl", u64::from(ttl - 1).into()),
+                ]
+            });
             ctx.send(
                 succ.node,
                 FlowerMsg::SiblingQuery {
@@ -667,6 +729,9 @@ impl FlowerPeer {
                 },
             );
         } else {
+            ctx.trace(tags::REDIRECT, || {
+                vec![("qid", qid.raw().into()), ("hit", false.into())]
+            });
             ctx.send(
                 client,
                 FlowerMsg::Redirect {
@@ -691,7 +756,7 @@ impl FlowerPeer {
         website: WebsiteId,
         locality: LocalityId,
         object: Option<ObjectId>,
-        qid: u64,
+        qid: QueryId,
         hops: u32,
     ) {
         let me = self.me;
@@ -699,6 +764,12 @@ impl FlowerPeer {
         let Role::Directory(d) = &mut self.role else {
             return;
         };
+        let arrived_pos = d.position;
+        ctx.trace(tags::ROUTED_ARRIVED, || {
+            let mut f = tags::pos_fields(arrived_pos);
+            f.push(("qid", qid.raw().into()));
+            f
+        });
         if !d.position.same_couple(key) {
             // We are not a directory for this couple: the base position is
             // vacant (§5.2.2 case 2). Arbitrate the client straight in.
@@ -712,6 +783,14 @@ impl FlowerPeer {
             if let Some(next_pos) = next_pos {
                 let succ = d.chord.successor();
                 if succ.id == next_pos.chord_id() {
+                    let from_inst = d.position.instance;
+                    ctx.trace(tags::INSTANCE_FORWARD, || {
+                        vec![
+                            ("qid", qid.raw().into()),
+                            ("from_inst", from_inst.into()),
+                            ("to_inst", next_pos.instance.into()),
+                        ]
+                    });
                     ctx.send(
                         succ.node,
                         FlowerMsg::Routed {
@@ -783,6 +862,12 @@ impl FlowerPeer {
                 return;
             }
         }
+        ctx.trace(tags::REDIRECT, || {
+            vec![
+                ("qid", qid.raw().into()),
+                ("hit", provider.is_some().into()),
+            ]
+        });
         ctx.send(
             client,
             FlowerMsg::Redirect {

@@ -15,20 +15,23 @@
 //! locality awareness — the paper's two criticisms of DHT-based P2P
 //! caching (§2).
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use bloom::hash::hash_u64;
+use cdn_metrics::{GaugeRegistry, Provider, QueryRecord, ResolvedVia};
 use chord::{Chord, ChordAction, ChordId, ChordMsg, ChordTimer, NodeRef};
-use cdn_metrics::{Provider, QueryRecord, ResolvedVia};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use simnet::{Ctx, Node, NodeId, Point, Time, Topology, World};
+use simnet::{ClassCountSink, Ctx, Node, NodeId, Point, Time, Topology, TraceSink, World};
 use workload::{generate_sessions, sample_exp, Catalog, ObjectId, WebsiteId};
 
 use crate::bootstrap::{Bootstrap, SharedBootstrap};
 use crate::config::SimParams;
-use crate::engine::RunResult;
+use crate::engine::{GaugeState, RunResult};
+use crate::qid::QueryId;
+use crate::tags;
 
 /// Which Squirrel scheme to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,22 +54,33 @@ pub enum SqMsg {
     /// Query forwarded to the object's home node. `exclude` lists
     /// downloaders the requester already found dead (the home prunes them).
     Query {
-        qid: u64,
+        qid: QueryId,
         object: ObjectId,
         exclude: Vec<NodeId>,
     },
     /// Home node's verdict: fetch from `provider`, or from the origin.
     Answer {
-        qid: u64,
+        qid: QueryId,
         object: ObjectId,
         provider: Option<NodeId>,
     },
-    Fetch { qid: u64, object: ObjectId },
-    FetchOk { qid: u64, object: ObjectId },
-    FetchMiss { qid: u64, object: ObjectId },
+    Fetch {
+        qid: QueryId,
+        object: ObjectId,
+    },
+    FetchOk {
+        qid: QueryId,
+        object: ObjectId,
+    },
+    FetchMiss {
+        qid: QueryId,
+        object: ObjectId,
+    },
     /// Home-store mode: the requester hands the home node a copy after a
     /// miss, so the home can serve the next query itself.
-    StoreCopy { object: ObjectId },
+    StoreCopy {
+        object: ObjectId,
+    },
 }
 
 /// Squirrel timers.
@@ -74,9 +88,9 @@ pub enum SqMsg {
 pub enum SqTimer {
     Chord(ChordTimer),
     Query,
-    AnswerDeadline { qid: u64 },
-    FetchDeadline { qid: u64, attempt: u32 },
-    OriginDone { qid: u64 },
+    AnswerDeadline { qid: QueryId },
+    FetchDeadline { qid: QueryId, attempt: u32 },
+    OriginDone { qid: QueryId },
 }
 
 /// Per-peer immutable context.
@@ -99,7 +113,7 @@ enum SqPhase {
 }
 
 struct SqPending {
-    qid: u64,
+    qid: QueryId,
     object: ObjectId,
     issued_at: Time,
     phase: SqPhase,
@@ -156,8 +170,8 @@ pub struct SquirrelPeer {
     home_dir: BTreeMap<ObjectId, Vec<NodeId>>,
     pending: Option<SqPending>,
     /// chord lookup token → qid.
-    lookup_jobs: BTreeMap<u64, u64>,
-    next_qid: u64,
+    lookup_jobs: BTreeMap<u64, QueryId>,
+    next_qid: u32,
     /// Actions from the Chord constructor, applied at `on_start`.
     startup_chord_actions: Vec<ChordAction>,
 }
@@ -224,10 +238,7 @@ impl SquirrelPeer {
                     ctx.set_timer(delay_ms, SqTimer::Chord(timer))
                 }
                 ChordAction::LookupDone {
-                    token,
-                    owner,
-                    hops,
-                    ..
+                    token, owner, hops, ..
                 } => self.on_lookup_done(ctx, token, owner, hops),
                 ChordAction::LookupFailed { token, .. } => self.on_lookup_failed(ctx, token),
                 ChordAction::JoinComplete { .. } => {
@@ -276,7 +287,14 @@ impl SquirrelPeer {
             return;
         };
         self.next_qid += 1;
-        let qid = self.next_qid;
+        let qid = QueryId::new(self.me, self.next_qid);
+        ctx.trace(tags::QUERY_ISSUED, || {
+            vec![
+                ("qid", qid.raw().into()),
+                ("ws", website.0.into()),
+                ("object", object.as_u64().into()),
+            ]
+        });
         self.pending = Some(SqPending {
             qid,
             object,
@@ -291,7 +309,13 @@ impl SquirrelPeer {
         self.start_home_lookup(ctx, qid, object);
     }
 
-    fn start_home_lookup(&mut self, ctx: &mut Ctx<Self>, qid: u64, object: ObjectId) {
+    fn start_home_lookup(&mut self, ctx: &mut Ctx<Self>, qid: QueryId, object: ObjectId) {
+        ctx.trace(tags::ROUTE_REQUEST, || {
+            vec![
+                ("qid", qid.raw().into()),
+                ("key", object_key(object).0.into()),
+            ]
+        });
         let (token, actions) = self.chord.lookup_recursive(object_key(object));
         self.lookup_jobs.insert(token, qid);
         self.apply_chord_actions(ctx, actions);
@@ -340,7 +364,7 @@ impl SquirrelPeer {
         self.retry_or_origin(ctx, qid);
     }
 
-    fn retry_or_origin(&mut self, ctx: &mut Ctx<Self>, qid: u64) {
+    fn retry_or_origin(&mut self, ctx: &mut Ctx<Self>, qid: QueryId) {
         let Some(p) = &mut self.pending else {
             return;
         };
@@ -360,7 +384,7 @@ impl SquirrelPeer {
     fn on_answer(
         &mut self,
         ctx: &mut Ctx<Self>,
-        qid: u64,
+        qid: QueryId,
         object: ObjectId,
         provider: Option<NodeId>,
     ) {
@@ -382,6 +406,9 @@ impl SquirrelPeer {
                 p.fetch_sent_at = ctx.now();
                 p.fetch_attempts += 1;
                 let attempt = p.fetch_attempts;
+                ctx.trace(tags::FETCH, || {
+                    vec![("qid", qid.raw().into()), ("provider", target.into())]
+                });
                 ctx.send(target, SqMsg::Fetch { qid, object });
                 ctx.set_timer(
                     self.pcx.params.rpc_timeout_ms,
@@ -395,7 +422,7 @@ impl SquirrelPeer {
         }
     }
 
-    fn start_origin_fetch(&mut self, ctx: &mut Ctx<Self>, qid: u64, home: Option<NodeId>) {
+    fn start_origin_fetch(&mut self, ctx: &mut Ctx<Self>, qid: QueryId, home: Option<NodeId>) {
         let Some(p) = &mut self.pending else {
             return;
         };
@@ -404,11 +431,12 @@ impl SquirrelPeer {
         }
         p.phase = SqPhase::Origin { home };
         p.fetch_sent_at = ctx.now();
+        ctx.trace(tags::ORIGIN_FETCH, || vec![("qid", qid.raw().into())]);
         let rtt = 2 * self.pcx.origin_latency_ms.max(1);
         ctx.set_timer(rtt, SqTimer::OriginDone { qid });
     }
 
-    fn on_fetch_ok(&mut self, ctx: &mut Ctx<Self>, from: NodeId, qid: u64) {
+    fn on_fetch_ok(&mut self, ctx: &mut Ctx<Self>, from: NodeId, qid: QueryId) {
         let Some(p) = &self.pending else {
             return;
         };
@@ -421,6 +449,7 @@ impl SquirrelPeer {
         if provider != from {
             return;
         }
+        ctx.trace(tags::FETCH_OK, || vec![("qid", qid.raw().into())]);
         let one_way = (ctx.now() - p.fetch_sent_at) / 2;
         let kind = if from == home {
             Provider::DirectoryPeer // home-store service
@@ -430,7 +459,7 @@ impl SquirrelPeer {
         self.complete(ctx, kind, one_way);
     }
 
-    fn on_fetch_failed(&mut self, ctx: &mut Ctx<Self>, qid: u64, provider: NodeId) {
+    fn on_fetch_failed(&mut self, ctx: &mut Ctx<Self>, qid: QueryId, provider: NodeId) {
         let Some(p) = &mut self.pending else {
             return;
         };
@@ -475,7 +504,7 @@ impl SquirrelPeer {
         );
     }
 
-    fn on_answer_deadline(&mut self, ctx: &mut Ctx<Self>, qid: u64) {
+    fn on_answer_deadline(&mut self, ctx: &mut Ctx<Self>, qid: QueryId) {
         let Some(p) = &self.pending else {
             return;
         };
@@ -489,7 +518,7 @@ impl SquirrelPeer {
         self.retry_or_origin(ctx, qid);
     }
 
-    fn on_origin_done(&mut self, ctx: &mut Ctx<Self>, qid: u64) {
+    fn on_origin_done(&mut self, ctx: &mut Ctx<Self>, qid: QueryId) {
         let Some(p) = &self.pending else {
             return;
         };
@@ -524,6 +553,14 @@ impl SquirrelPeer {
             provider,
             via: ResolvedVia::DhtRoute,
         };
+        ctx.trace(tags::QUERY_COMPLETE, || {
+            let kind = match provider {
+                Provider::ContentPeer => "content_peer",
+                Provider::DirectoryPeer => "directory_peer",
+                Provider::OriginServer => "origin",
+            };
+            vec![("qid", p.qid.raw().into()), ("provider", kind.into())]
+        });
         ctx.report(SqReport::Query(record));
     }
 
@@ -602,6 +639,12 @@ impl Node for SquirrelPeer {
                     ctx.report(SqReport::Event(SqEvent::AnsweredByNonOwner));
                 }
                 let provider = self.home_answer(ctx, from, object, &exclude);
+                ctx.trace(tags::SQ_HOME_ANSWER, || {
+                    vec![
+                        ("qid", qid.raw().into()),
+                        ("hit", provider.is_some().into()),
+                    ]
+                });
                 ctx.send(
                     from,
                     SqMsg::Answer {
@@ -662,6 +705,28 @@ impl Node for SquirrelPeer {
             SqTimer::OriginDone { qid } => self.on_origin_done(ctx, qid),
         }
     }
+
+    fn msg_class(msg: &SqMsg) -> &'static str {
+        match msg {
+            SqMsg::Chord(m) => m.class(),
+            SqMsg::Query { .. } => "sq_query",
+            SqMsg::Answer { .. } => "sq_answer",
+            SqMsg::Fetch { .. } => "fetch",
+            SqMsg::FetchOk { .. } => "fetch_ok",
+            SqMsg::FetchMiss { .. } => "fetch_miss",
+            SqMsg::StoreCopy { .. } => "sq_store_copy",
+        }
+    }
+
+    fn timer_class(timer: &SqTimer) -> &'static str {
+        match timer {
+            SqTimer::Chord(t) => t.class(),
+            SqTimer::Query => "query",
+            SqTimer::AnswerDeadline { .. } => "sq_answer_deadline",
+            SqTimer::FetchDeadline { .. } => "fetch_deadline",
+            SqTimer::OriginDone { .. } => "origin_done",
+        }
+    }
 }
 
 // ======================================================================
@@ -675,6 +740,9 @@ pub enum SqControl {
         lifetime_ms: u64,
     },
     Fail(NodeId),
+    /// Periodic gauge-sampling tick; armed by
+    /// [`SquirrelSim::enable_gauges`] and self-rescheduling.
+    Sample,
 }
 
 /// The Squirrel simulation, mirroring [`crate::engine::FlowerSim`]'s
@@ -688,6 +756,7 @@ pub struct SquirrelSim {
     origins: Vec<Point>,
     engine_rng: StdRng,
     mode: SquirrelMode,
+    gauges: Option<GaugeState>,
 }
 
 impl SquirrelSim {
@@ -714,6 +783,7 @@ impl SquirrelSim {
             origins,
             engine_rng,
             mode,
+            gauges: None,
         };
         sim.build_initial_population();
         sim.schedule_churn();
@@ -752,8 +822,9 @@ impl SquirrelSim {
                 .topology()
                 .sample_point_in(loc, &mut self.engine_rng);
             let pcx = self.peer_ctx(ws, at);
-            self.world
-                .spawn(at, |me, _loc| SquirrelPeer::initial(pcx, me, chord, actions));
+            self.world.spawn(at, |me, _loc| {
+                SquirrelPeer::initial(pcx, me, chord, actions)
+            });
             self.bootstrap.borrow_mut().add(me_ref);
         }
     }
@@ -794,6 +865,32 @@ impl SquirrelSim {
         }
     }
 
+    /// Attach a structured trace sink to the underlying world. As with
+    /// [`crate::engine::FlowerSim::add_trace_sink`], the already-spawned
+    /// initial population is replayed into the sink first.
+    pub fn add_trace_sink(&mut self, mut sink: impl TraceSink + 'static) {
+        let now = self.world.now();
+        for (id, _) in self.world.live_nodes() {
+            let locality = self.world.topology().locality(id);
+            sink.event(now, &simnet::TraceEvent::NodeSpawn { node: id, locality });
+        }
+        self.world.add_trace_sink(Box::new(sink));
+    }
+
+    /// Turn on periodic gauge sampling, mirroring
+    /// [`crate::engine::FlowerSim::enable_gauges`]: population, joined-ring
+    /// size, home-directory load and per-class message rates.
+    pub fn enable_gauges(&mut self, period_ms: u64) -> Rc<RefCell<GaugeRegistry>> {
+        let counts = ClassCountSink::new();
+        self.world.add_trace_sink(Box::new(counts.clone()));
+        let state = GaugeState::new(period_ms, counts);
+        let registry = Rc::clone(&state.registry);
+        self.world
+            .schedule_control(self.world.now() + period_ms, SqControl::Sample);
+        self.gauges = Some(state);
+        registry
+    }
+
     pub fn run(mut self) -> RunResult {
         let horizon = Time::from_millis(self.params.horizon_ms);
         self.run_until(horizon);
@@ -807,6 +904,7 @@ impl SquirrelSim {
         let origins = self.origins.clone();
         let mode = self.mode;
         let mut rng = self.engine_rng.clone();
+        let mut gauges = self.gauges.take();
         self.world.run(t, |world, control| match control {
             SqControl::Spawn {
                 website,
@@ -835,8 +933,15 @@ impl SquirrelSim {
                 world.fail(id);
                 bootstrap.borrow_mut().remove(id);
             }
+            SqControl::Sample => {
+                if let Some(g) = gauges.as_mut() {
+                    sample_squirrel_gauges(g, world);
+                    world.schedule_control(world.now() + g.period_ms, SqControl::Sample);
+                }
+            }
         });
         self.engine_rng = rng;
+        self.gauges = gauges;
     }
 
     pub fn now(&self) -> Time {
@@ -846,11 +951,7 @@ impl SquirrelSim {
     /// Manually spawn a client peer interested in `website`, placed in
     /// `locality`, with no scheduled failure (protocol tests drive churn
     /// themselves).
-    pub fn spawn_client(
-        &mut self,
-        website: WebsiteId,
-        locality: simnet::LocalityId,
-    ) -> NodeId {
+    pub fn spawn_client(&mut self, website: WebsiteId, locality: simnet::LocalityId) -> NodeId {
         let at = self
             .world
             .topology()
@@ -931,8 +1032,14 @@ impl SquirrelSim {
 
     pub fn finish(mut self) -> RunResult {
         use crate::peer::ProtocolEvent;
+        self.world.flush_trace_sinks();
         let peak = self.world.live_count();
         let messages_delivered = self.world.stats().delivered;
+        let gauges = self
+            .gauges
+            .as_ref()
+            .map(GaugeState::snapshot)
+            .unwrap_or_default();
         let mut records = Vec::new();
         let mut events: std::collections::BTreeMap<ProtocolEvent, u64> =
             std::collections::BTreeMap::new();
@@ -966,8 +1073,29 @@ impl SquirrelSim {
             stats,
             peak_population: peak,
             messages_delivered,
+            gauges,
         }
     }
+}
+
+/// One gauge sample of a Squirrel world: population, joined-ring size and
+/// home-directory load, plus per-class delivery rates.
+fn sample_squirrel_gauges(g: &mut GaugeState, world: &World<SquirrelPeer, SqControl>) {
+    let at = world.now().as_millis();
+    let mut pop = 0usize;
+    let mut joined = 0usize;
+    let mut homed = 0usize;
+    for (_, p) in world.live_nodes() {
+        pop += 1;
+        if p.is_joined() {
+            joined += 1;
+        }
+        homed += p.homed_objects();
+    }
+    g.record("population", at, pop as f64);
+    g.record("ring_size", at, joined as f64);
+    g.record("homed_objects", at, homed as f64);
+    g.sample_message_rates(at);
 }
 
 #[cfg(test)]
@@ -984,7 +1112,11 @@ mod tests {
         let pop = sim.live_population();
         assert!((75..=260).contains(&pop), "population {pop}");
         let result = sim.finish();
-        assert!(result.records.len() > 200, "{} records", result.records.len());
+        assert!(
+            result.records.len() > 200,
+            "{} records",
+            result.records.len()
+        );
         assert!(
             result.stats.hit_ratio() > 0.02,
             "hit ratio {}",

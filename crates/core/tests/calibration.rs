@@ -17,8 +17,7 @@ fn breakdown(records: &[QueryRecord]) {
             continue;
         }
         let hits = rs.iter().filter(|r| r.is_hit()).count();
-        let mean_lookup: f64 =
-            rs.iter().map(|r| r.lookup_ms as f64).sum::<f64>() / rs.len() as f64;
+        let mean_lookup: f64 = rs.iter().map(|r| r.lookup_ms as f64).sum::<f64>() / rs.len() as f64;
         let mut lookups: Vec<u64> = rs.iter().map(|r| r.lookup_ms).collect();
         lookups.sort_unstable();
         let p95 = lookups[lookups.len() * 95 / 100];
@@ -33,7 +32,10 @@ fn breakdown(records: &[QueryRecord]) {
     }
     // hourly cumulative hit
     let series = flower_cdn::experiments::hit_ratio_series(records, 3_600_000);
-    let pts: Vec<String> = series.iter().map(|(h, r)| format!("{h:.0}h={r:.2}")).collect();
+    let pts: Vec<String> = series
+        .iter()
+        .map(|(h, r)| format!("{h:.0}h={r:.2}"))
+        .collect();
     println!("    cumulative: {}", pts.join(" "));
 }
 

@@ -2,8 +2,8 @@
 //! through the engine with manual spawns and a churn-free background —
 //! each test isolates one §3–§5 mechanism.
 
-use flower_cdn::{DirPosition, FlowerSim, SimParams};
-use simnet::{LocalityId, Time};
+use flower_cdn::{DirPosition, FlowerSim, InvariantChecker, SimParams};
+use simnet::{LivenessChecker, LocalityId, Time};
 use workload::WebsiteId;
 
 /// One website, one locality, no natural churn: a single petal under a
@@ -114,14 +114,76 @@ fn directory_failure_is_repaired_by_petal_members() {
     // pushes, so the new index re-learns them.
     sim.run_until(Time::from_mins(90));
     let (_, _, load_after) = dir_of(&sim).expect("position still held");
-    assert!(load_after >= 2, "rebuilt index knows only {load_after} peers");
+    assert!(
+        load_after >= 2,
+        "rebuilt index knows only {load_after} peers"
+    );
     let result = sim.finish();
     assert!(result.replacements >= 1);
 }
 
 #[test]
+fn invariants_hold_under_directory_churn() {
+    // Same scenario as `directory_failure_is_repaired_by_petal_members`,
+    // but validated from the trace: the invariant checker replays every
+    // scheduler and protocol event and asserts directory uniqueness,
+    // query termination and no delivery-to-dead.
+    let mut sim = FlowerSim::new(single_petal_params(3));
+    let checker = InvariantChecker::new();
+    let liveness = LivenessChecker::new();
+    sim.add_trace_sink(checker.clone());
+    sim.add_trace_sink(liveness.clone());
+    for _ in 0..4 {
+        sim.spawn_client(WebsiteId(0), LocalityId(0));
+    }
+    sim.run_until(Time::from_mins(30));
+    let victim = sim
+        .directories()
+        .into_iter()
+        .find(|(_, p, _)| p.chord_id() == petal().chord_id())
+        .expect("petal directory alive")
+        .0;
+    sim.fail_peer(victim);
+    sim.run_until(Time::from_mins(90));
+    let result = sim.finish();
+    assert!(result.replacements >= 1, "replacement must have happened");
+    liveness.assert_clean();
+    checker.assert_clean();
+    assert!(
+        checker.queries_issued() > 20,
+        "traced queries: {}",
+        checker.queries_issued()
+    );
+    assert!(checker.queries_completed() > 0);
+}
+
+#[test]
+fn invariants_hold_across_a_petalup_split() {
+    // PetalUp (§4): drive the single petal over a tiny capacity so it
+    // splits, and check from the trace that instance ids stay contiguous
+    // and no position is double-held.
+    let mut p = single_petal_params(8);
+    p.directory_capacity = 3;
+    let mut sim = FlowerSim::new(p);
+    let checker = InvariantChecker::new();
+    sim.add_trace_sink(checker.clone());
+    for _ in 0..8 {
+        sim.spawn_client(WebsiteId(0), LocalityId(0));
+    }
+    sim.run_until(Time::from_mins(120));
+    let result = sim.finish();
+    assert!(result.splits >= 1, "petal must have split");
+    checker.assert_clean();
+    assert!(
+        checker.max_instance(0, 0) >= Some(1),
+        "trace must show instance 1 being claimed, saw {:?}",
+        checker.max_instance(0, 0)
+    );
+}
+
+#[test]
 fn voluntary_leave_hands_over_without_losing_the_index() {
-    let mut sim = FlowerSim::new(single_petal_params(4));
+    let mut sim = FlowerSim::new(single_petal_params(3));
     for _ in 0..3 {
         sim.spawn_client(WebsiteId(0), LocalityId(0));
     }

@@ -34,6 +34,16 @@ pub enum GossipMsg<P> {
     ShuffleReply { entries: Vec<Entry<P>> },
 }
 
+impl<P> GossipMsg<P> {
+    /// Stable protocol-class label for trace events.
+    pub fn class(&self) -> &'static str {
+        match self {
+            GossipMsg::ShuffleReq { .. } => "shuffle_req",
+            GossipMsg::ShuffleReply { .. } => "shuffle_reply",
+        }
+    }
+}
+
 /// View-merge discipline; see module docs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShuffleMode {
@@ -172,11 +182,7 @@ impl<P: Clone> Cyclon<P> {
             sent,
             generation: self.generation,
         });
-        Some((
-            target,
-            GossipMsg::ShuffleReq { entries },
-            self.generation,
-        ))
+        Some((target, GossipMsg::ShuffleReq { entries }, self.generation))
     }
 
     /// Handle an incoming shuffle request; returns the reply to send back.
@@ -265,9 +271,7 @@ mod tests {
         peers: &mut std::collections::HashMap<NodeId, Cyclon<u32>>,
         rng: &mut StdRng,
     ) {
-        if let Some((target, GossipMsg::ShuffleReq { entries }, _gen)) =
-            a.start_shuffle(0, rng)
-        {
+        if let Some((target, GossipMsg::ShuffleReq { entries }, _gen)) = a.start_shuffle(0, rng) {
             if let Some(q) = peers.get_mut(&target) {
                 let GossipMsg::ShuffleReply { entries: back } =
                     q.handle_request(a.me(), entries, 0, rng)
@@ -288,7 +292,10 @@ mod tests {
             .map(|i| {
                 let mut c = Cyclon::new(n(i), ShuffleMode::Swap, 3, cap);
                 // ring bootstrap
-                c.seed([Entry::new(n((i + 1) % count), 0), Entry::new(n((i + 2) % count), 0)]);
+                c.seed([
+                    Entry::new(n((i + 1) % count), 0),
+                    Entry::new(n((i + 2) % count), 0),
+                ]);
                 (n(i), c)
             })
             .collect();

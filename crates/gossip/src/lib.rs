@@ -154,10 +154,7 @@ mod convergence_tests {
         run_rounds(&mut peers, 40, &mut rng, &dead);
         for (id, c) in &peers {
             for d in &dead {
-                assert!(
-                    !c.view().contains(*d),
-                    "{id} still lists dead contact {d}"
-                );
+                assert!(!c.view().contains(*d), "{id} still lists dead contact {d}");
             }
         }
         assert!(weakly_connected(&peers), "survivors must remain connected");

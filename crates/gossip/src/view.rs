@@ -258,7 +258,10 @@ mod tests {
         let mut v: View<()> = View::bounded(2);
         assert!(v.upsert(Entry::new(n(1), ())));
         assert!(v.upsert(Entry::new(n(2), ())));
-        assert!(!v.upsert(Entry::new(n(3), ())), "full view drops new contact");
+        assert!(
+            !v.upsert(Entry::new(n(3), ())),
+            "full view drops new contact"
+        );
         let mut sent = vec![n(1)];
         assert!(v.upsert_replacing(Entry::new(n(3), ()), &mut sent));
         assert!(v.contains(n(3)) && !v.contains(n(1)));

@@ -1,0 +1,150 @@
+//! Sampled time-series gauges ("live gauges" of the tracing subsystem).
+//!
+//! A [`GaugeRegistry`] holds named time series, each a list of `(time_ms,
+//! value)` points appended by a periodic sampler (the experiment engines
+//! sample petal sizes, D-ring size, live population and per-class message
+//! rates on a configurable period). The registry itself is engine-agnostic
+//! pure data, so it lives here next to the other measurement types.
+
+use std::collections::BTreeMap;
+
+use crate::report::{ascii_lines, Csv};
+
+/// A registry of named, append-only `(time_ms, value)` series.
+#[derive(Debug, Clone, Default)]
+pub struct GaugeRegistry {
+    series: BTreeMap<String, Vec<(u64, f64)>>,
+}
+
+impl GaugeRegistry {
+    pub fn new() -> GaugeRegistry {
+        GaugeRegistry::default()
+    }
+
+    /// Append one sample. Samples are expected (but not required) to arrive
+    /// in time order per series.
+    pub fn record(&mut self, name: &str, at_ms: u64, value: f64) {
+        self.series
+            .entry(name.to_string())
+            .or_default()
+            .push((at_ms, value));
+    }
+
+    /// All series names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.series.keys().map(String::as_str).collect()
+    }
+
+    /// Points of one series.
+    pub fn series(&self, name: &str) -> Option<&[(u64, f64)]> {
+        self.series.get(name).map(Vec::as_slice)
+    }
+
+    /// Latest value of one series.
+    pub fn last(&self, name: &str) -> Option<f64> {
+        self.series
+            .get(name)
+            .and_then(|s| s.last())
+            .map(|&(_, v)| v)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Merge another registry into this one (used when a run is assembled
+    /// from time slices).
+    pub fn merge(&mut self, other: &GaugeRegistry) {
+        for (name, pts) in &other.series {
+            self.series
+                .entry(name.clone())
+                .or_default()
+                .extend_from_slice(pts);
+        }
+    }
+
+    /// Long-format CSV: `series,time_ms,value`.
+    pub fn to_csv(&self) -> Csv {
+        let mut csv = Csv::new(&["series", "time_ms", "value"]);
+        for (name, pts) in &self.series {
+            for &(t, v) in pts {
+                csv.row(&[name.clone(), t.to_string(), format!("{v}")]);
+            }
+        }
+        csv
+    }
+
+    /// ASCII chart of selected series (minutes on the x axis). Series that
+    /// have no points are skipped; returns an empty string if nothing is
+    /// plottable.
+    pub fn ascii_chart(&self, title: &str, names: &[&str], width: usize, height: usize) -> String {
+        let data: Vec<(&str, Vec<(f64, f64)>)> = names
+            .iter()
+            .filter_map(|&n| {
+                let pts = self.series.get(n)?;
+                if pts.is_empty() {
+                    return None;
+                }
+                Some((
+                    n,
+                    pts.iter().map(|&(t, v)| (t as f64 / 60_000.0, v)).collect(),
+                ))
+            })
+            .collect();
+        if data.is_empty() {
+            return String::new();
+        }
+        let series: Vec<(&str, &[(f64, f64)])> =
+            data.iter().map(|(n, p)| (*n, p.as_slice())).collect();
+        ascii_lines(title, &series, width, height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reads_back_in_order() {
+        let mut g = GaugeRegistry::new();
+        g.record("pop", 0, 60.0);
+        g.record("pop", 60_000, 90.0);
+        g.record("dring", 0, 12.0);
+        assert_eq!(g.names(), vec!["dring", "pop"]);
+        assert_eq!(g.series("pop").unwrap(), &[(0, 60.0), (60_000, 90.0)]);
+        assert_eq!(g.last("pop"), Some(90.0));
+        assert_eq!(g.last("missing"), None);
+    }
+
+    #[test]
+    fn csv_is_long_format() {
+        let mut g = GaugeRegistry::new();
+        g.record("pop", 1000, 5.0);
+        let out = g.to_csv().as_str().to_string();
+        assert!(out.starts_with("series,time_ms,value"));
+        assert!(out.contains("pop,1000,5"));
+    }
+
+    #[test]
+    fn merge_concatenates_slices() {
+        let mut a = GaugeRegistry::new();
+        a.record("x", 0, 1.0);
+        let mut b = GaugeRegistry::new();
+        b.record("x", 10, 2.0);
+        b.record("y", 10, 3.0);
+        a.merge(&b);
+        assert_eq!(a.series("x").unwrap().len(), 2);
+        assert_eq!(a.last("y"), Some(3.0));
+    }
+
+    #[test]
+    fn ascii_chart_skips_empty_and_unknown_series() {
+        let mut g = GaugeRegistry::new();
+        g.record("pop", 0, 1.0);
+        g.record("pop", 120_000, 3.0);
+        let chart = g.ascii_chart("gauges", &["pop", "nope"], 40, 8);
+        assert!(chart.contains("gauges"));
+        assert!(chart.contains("pop"));
+        assert!(g.ascii_chart("t", &["nope"], 40, 8).is_empty());
+    }
+}

@@ -152,7 +152,10 @@ pub fn percentile(sorted: &[u64], p: f64) -> Option<f64> {
         return None;
     }
     assert!((0.0..=100.0).contains(&p));
-    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
     if sorted.len() == 1 {
         return Some(sorted[0] as f64);
     }
@@ -178,6 +181,79 @@ mod tests {
         assert_eq!(h.total(), 7);
         assert_eq!(h.min(), Some(0));
         assert_eq!(h.max(), Some(50_000));
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let h = Histogram::new(vec![150, 300]);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.counts(), &[0, 0, 0]);
+        assert_eq!(h.fraction_within(150), 0.0);
+        assert_eq!(h.fraction_overflow(), 0.0);
+        assert_eq!(h.fractions(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn single_sample_histogram() {
+        let mut h = Histogram::new(vec![150, 300]);
+        h.record(151);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.mean(), 151.0);
+        assert_eq!(h.min(), Some(151));
+        assert_eq!(h.max(), Some(151));
+        assert_eq!(h.counts(), &[0, 1, 0]);
+        assert_eq!(h.fraction_within(150), 0.0);
+        assert_eq!(h.fraction_within(300), 1.0);
+        assert_eq!(h.fraction_overflow(), 0.0);
+    }
+
+    #[test]
+    fn all_samples_overflow() {
+        let mut h = Histogram::new(vec![10]);
+        h.record(11);
+        h.record(u64::MAX / 2);
+        assert_eq!(h.counts(), &[0, 2]);
+        assert_eq!(h.fraction_within(10), 0.0);
+        assert_eq!(h.fraction_overflow(), 1.0);
+        // Overflow values still feed min/max.
+        assert_eq!(h.min(), Some(11));
+        assert_eq!(h.max(), Some(u64::MAX / 2));
+    }
+
+    #[test]
+    fn boundary_values_stay_inclusive_of_upper_edge() {
+        let mut h = Histogram::new(vec![100, 200]);
+        h.record(100); // exactly the first edge → first bucket
+        h.record(200); // exactly the last edge → second bucket, not overflow
+        h.record(201); // one past the last edge → overflow
+        assert_eq!(h.counts(), &[1, 1, 1]);
+        assert_eq!(h.fraction_within(200), 2.0 / 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket edge")]
+    fn empty_edges_are_rejected() {
+        let _ = Histogram::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_increasing_edges_are_rejected() {
+        let _ = Histogram::new(vec![100, 100]);
+    }
+
+    #[test]
+    fn merge_with_empty_preserves_min_max() {
+        let mut a = Histogram::linear(10, 3);
+        a.record(15);
+        let b = Histogram::linear(10, 3);
+        a.merge(&b); // empty rhs must not clobber min/max
+        assert_eq!(a.min(), Some(15));
+        assert_eq!(a.max(), Some(15));
+        assert_eq!(a.total(), 1);
     }
 
     #[test]

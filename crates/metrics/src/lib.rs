@@ -12,7 +12,11 @@
 //! * [`series::HitRatioSeries`] — time-bucketed hit-ratio evolution
 //!   (Figure 3);
 //! * [`report`] — CSV export plus ASCII line/bar/table renderings so every
-//!   regenerated figure is readable in a terminal.
+//!   regenerated figure is readable in a terminal;
+//! * [`gauges::GaugeRegistry`] — sampled time-series gauges (petal sizes,
+//!   D-ring size, live population, per-class message rates);
+//! * [`trace_jsonl`] — a [`simnet::TraceSink`] that streams structured
+//!   trace events as JSON lines, plus a parser to read them back.
 //!
 //! ```
 //! use cdn_metrics::{Histogram, fig4_lookup_edges};
@@ -23,15 +27,19 @@
 //! assert_eq!(h.fraction_overflow(), 0.5);
 //! ```
 
+pub mod gauges;
 pub mod histogram;
 pub mod query;
 pub mod report;
 pub mod series;
+pub mod trace_jsonl;
 
+pub use gauges::GaugeRegistry;
 pub use histogram::{percentile, Histogram};
 pub use query::{Provider, QueryRecord, QueryStats, ResolvedVia};
 pub use report::{ascii_bars, ascii_lines, ascii_table, Csv};
 pub use series::HitRatioSeries;
+pub use trace_jsonl::{parse_trace_line, JsonlTraceWriter, TraceLine};
 
 /// The bucket edges used to report Figure 4 (lookup latency distribution).
 /// The paper's prose anchors 150 ms and 1200 ms; intermediate edges give

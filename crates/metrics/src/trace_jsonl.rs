@@ -1,0 +1,388 @@
+//! JSONL trace export: a [`TraceSink`] that writes one flat JSON object per
+//! trace event, and a parser for reading such files back.
+//!
+//! The format is deliberately flat — every record is one line, every field
+//! a scalar — so traces can be processed with `grep`/`jq` and re-parsed
+//! here without a JSON dependency. A query's full causal path is the set
+//! of lines sharing its `qid` field, in file (= simulation time) order.
+//!
+//! ```text
+//! {"t":152340,"kind":"custom","node":17,"name":"query_issued","qid":17825793,"ws":0,"object":42}
+//! {"t":152340,"kind":"send","src":17,"dst":3,"class":"dring_route","latency_ms":38}
+//! {"t":152378,"kind":"deliver","src":17,"dst":3,"class":"dring_route"}
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use simnet::{FieldValue, Time, TraceEvent, TraceSink};
+
+/// Streams trace events as JSON lines into any [`Write`] target.
+pub struct JsonlTraceWriter<W: Write> {
+    out: W,
+    lines: u64,
+    /// Reused per-event buffer.
+    buf: String,
+}
+
+impl JsonlTraceWriter<BufWriter<File>> {
+    /// Create (truncate) `path` and stream events into it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlTraceWriter::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlTraceWriter<W> {
+    pub fn new(out: W) -> Self {
+        JsonlTraceWriter {
+            out,
+            lines: 0,
+            buf: String::with_capacity(256),
+        }
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+
+    fn push_field(buf: &mut String, key: &str, v: &FieldValue) {
+        let _ = match v {
+            FieldValue::U64(x) => write!(buf, ",\"{key}\":{x}"),
+            FieldValue::I64(x) => write!(buf, ",\"{key}\":{x}"),
+            FieldValue::F64(x) if x.is_finite() => write!(buf, ",\"{key}\":{x}"),
+            FieldValue::F64(_) => write!(buf, ",\"{key}\":null"),
+            FieldValue::Str(s) => write!(buf, ",\"{key}\":\"{}\"", escape(s)),
+            FieldValue::Bool(b) => write!(buf, ",\"{key}\":{b}"),
+        };
+    }
+}
+
+fn escape(s: &str) -> String {
+    // Trace strings are static identifiers in practice; handle the JSON
+    // metacharacters anyway so the output is always valid.
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+impl<W: Write> TraceSink for JsonlTraceWriter<W> {
+    fn event(&mut self, at: Time, ev: &TraceEvent) {
+        let buf = &mut self.buf;
+        buf.clear();
+        let _ = write!(buf, "{{\"t\":{},\"kind\":\"{}\"", at.as_millis(), ev.kind());
+        match ev {
+            TraceEvent::NodeSpawn { node, locality } => {
+                let _ = write!(buf, ",\"node\":{},\"loc\":{}", node.raw(), locality.0);
+            }
+            TraceEvent::NodeFail { node } | TraceEvent::NodeLeave { node } => {
+                let _ = write!(buf, ",\"node\":{}", node.raw());
+            }
+            TraceEvent::MsgSend {
+                src,
+                dst,
+                class,
+                latency_ms,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"src\":{},\"dst\":{},\"class\":\"{}\",\"latency_ms\":{}",
+                    src.raw(),
+                    dst.raw(),
+                    escape(class),
+                    latency_ms
+                );
+            }
+            TraceEvent::MsgDeliver { src, dst, class }
+            | TraceEvent::MsgDrop { src, dst, class } => {
+                let _ = write!(
+                    buf,
+                    ",\"src\":{},\"dst\":{},\"class\":\"{}\"",
+                    src.raw(),
+                    dst.raw(),
+                    escape(class)
+                );
+            }
+            TraceEvent::TimerSet {
+                node,
+                class,
+                delay_ms,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"node\":{},\"class\":\"{}\",\"delay_ms\":{}",
+                    node.raw(),
+                    escape(class),
+                    delay_ms
+                );
+            }
+            TraceEvent::TimerFire { node, class } => {
+                let _ = write!(
+                    buf,
+                    ",\"node\":{},\"class\":\"{}\"",
+                    node.raw(),
+                    escape(class)
+                );
+            }
+            TraceEvent::Custom { node, name, fields } => {
+                let _ = write!(
+                    buf,
+                    ",\"node\":{},\"name\":\"{}\"",
+                    node.raw(),
+                    escape(name)
+                );
+                for (k, v) in fields {
+                    Self::push_field(buf, k, v);
+                }
+            }
+        }
+        buf.push('}');
+        buf.push('\n');
+        let _ = self.out.write_all(buf.as_bytes());
+        self.lines += 1;
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// One parsed trace line: the flat key → scalar map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceLine {
+    pub fields: BTreeMap<String, JsonScalar>,
+}
+
+/// Scalar values appearing in trace lines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonScalar {
+    Num(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+}
+
+impl TraceLine {
+    /// Simulation time of the event, ms.
+    pub fn t(&self) -> u64 {
+        self.num("t").unwrap_or(0.0) as u64
+    }
+
+    /// The event kind (`send`, `deliver`, `custom`, …).
+    pub fn kind(&self) -> &str {
+        self.str("kind").unwrap_or("")
+    }
+
+    /// The `Custom` event name, if any.
+    pub fn name(&self) -> Option<&str> {
+        self.str("name")
+    }
+
+    pub fn num(&self, key: &str) -> Option<f64> {
+        match self.fields.get(key)? {
+            JsonScalar::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub fn str(&self, key: &str) -> Option<&str> {
+        match self.fields.get(key)? {
+            JsonScalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn bool(&self, key: &str) -> Option<bool> {
+        match self.fields.get(key)? {
+            JsonScalar::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one line produced by [`JsonlTraceWriter`]. Returns `None` on
+/// malformed input (this is a parser for our own flat output, not a general
+/// JSON parser — nested values are rejected).
+pub fn parse_trace_line(line: &str) -> Option<TraceLine> {
+    let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut fields = BTreeMap::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        rest = rest.trim_start_matches(',');
+        // Key.
+        let r = rest.strip_prefix('"')?;
+        let kend = r.find('"')?;
+        let key = &r[..kend];
+        let r = r[kend + 1..].strip_prefix(':')?;
+        // Value.
+        let (value, after) = if let Some(vr) = r.strip_prefix('"') {
+            let mut s = String::new();
+            let mut it = vr.char_indices();
+            let mut end = None;
+            while let Some((i, c)) = it.next() {
+                match c {
+                    '\\' => match it.next()?.1 {
+                        'n' => s.push('\n'),
+                        'u' => {
+                            let hex: String =
+                                (0..4).map_while(|_| it.next().map(|(_, c)| c)).collect();
+                            s.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                        }
+                        c => s.push(c),
+                    },
+                    '"' => {
+                        end = Some(i);
+                        break;
+                    }
+                    c => s.push(c),
+                }
+            }
+            (JsonScalar::Str(s), &vr[end? + 1..])
+        } else {
+            let vend = r.find(',').unwrap_or(r.len());
+            let raw = &r[..vend];
+            let v = match raw {
+                "true" => JsonScalar::Bool(true),
+                "false" => JsonScalar::Bool(false),
+                "null" => JsonScalar::Null,
+                n => JsonScalar::Num(n.parse().ok()?),
+            };
+            (v, &r[vend..])
+        };
+        fields.insert(key.to_string(), value);
+        rest = after;
+    }
+    Some(TraceLine { fields })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::NodeId;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn writes_and_parses_every_event_shape() {
+        let mut w = JsonlTraceWriter::new(Vec::new());
+        w.event(
+            Time(5),
+            &TraceEvent::NodeSpawn {
+                node: n(1),
+                locality: simnet::LocalityId(3),
+            },
+        );
+        w.event(
+            Time(10),
+            &TraceEvent::MsgSend {
+                src: n(1),
+                dst: n(2),
+                class: "fetch",
+                latency_ms: 17,
+            },
+        );
+        w.event(
+            Time(27),
+            &TraceEvent::MsgDeliver {
+                src: n(1),
+                dst: n(2),
+                class: "fetch",
+            },
+        );
+        w.event(
+            Time(30),
+            &TraceEvent::Custom {
+                node: n(2),
+                name: "query_issued",
+                fields: vec![
+                    ("qid", 99u64.into()),
+                    ("hit", true.into()),
+                    ("provider", "origin".into()),
+                    ("score", 0.5f64.into()),
+                ],
+            },
+        );
+        assert_eq!(w.lines(), 4);
+        let text = String::from_utf8(w.into_inner()).unwrap();
+        let lines: Vec<TraceLine> = text.lines().map(|l| parse_trace_line(l).unwrap()).collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].kind(), "spawn");
+        assert_eq!(lines[0].num("loc"), Some(3.0));
+        assert_eq!(lines[1].kind(), "send");
+        assert_eq!(lines[1].num("latency_ms"), Some(17.0));
+        assert_eq!(lines[2].t(), 27);
+        assert_eq!(lines[3].name(), Some("query_issued"));
+        assert_eq!(lines[3].num("qid"), Some(99.0));
+        assert_eq!(lines[3].bool("hit"), Some(true));
+        assert_eq!(lines[3].str("provider"), Some("origin"));
+        assert_eq!(lines[3].num("score"), Some(0.5));
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let s = "a\"b\\c\nd";
+        let mut w = JsonlTraceWriter::new(Vec::new());
+        w.event(
+            Time(0),
+            &TraceEvent::Custom {
+                node: n(0),
+                name: "x",
+                fields: vec![("v", FieldValue::Str("quoted"))],
+            },
+        );
+        let text = String::from_utf8(w.into_inner()).unwrap();
+        assert!(parse_trace_line(&text).is_some());
+        // The escape helper itself handles the metacharacters.
+        assert_eq!(escape(s), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse_trace_line("").is_none());
+        assert!(parse_trace_line("{\"t\":}").is_none());
+        assert!(parse_trace_line("not json").is_none());
+        assert!(parse_trace_line("{\"t\":1,\"nested\":{\"x\":1}}").is_none());
+    }
+
+    #[test]
+    fn file_round_trip_through_create() {
+        let path = std::env::temp_dir().join(format!("trace_rt_{}.jsonl", std::process::id()));
+        {
+            let mut w = JsonlTraceWriter::create(&path).unwrap();
+            w.event(Time(1), &TraceEvent::NodeFail { node: n(4) });
+            w.event(
+                Time(2),
+                &TraceEvent::MsgDrop {
+                    src: n(4),
+                    dst: n(5),
+                    class: "keepalive",
+                },
+            );
+            w.flush();
+        } // drop flushes the BufWriter
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<TraceLine> = text.lines().map(|l| parse_trace_line(l).unwrap()).collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].kind(), "fail");
+        assert_eq!(lines[1].kind(), "drop");
+        assert_eq!(lines[1].str("class"), Some("keepalive"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

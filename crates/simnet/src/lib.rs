@@ -21,10 +21,14 @@
 
 pub mod time;
 pub mod topology;
+pub mod trace;
 pub mod world;
 
 pub use time::Time;
 pub use topology::{LatencyModel, LocalityId, Point, Topology, TopologyConfig};
+pub use trace::{
+    ClassCountSink, FieldValue, Fields, LivenessChecker, TraceEvent, TraceSink, VecSink,
+};
 pub use world::{Ctx, Node, NodeId, World, WorldStats};
 
 #[cfg(test)]
@@ -80,9 +84,21 @@ mod tests {
         fn on_timer(&mut self, ctx: &mut Ctx<Self>, Tmr::Fire: Tmr) {
             if let Some(p) = self.peer {
                 self.sent_at = Some(ctx.now());
+                ctx.trace("ping_round", || vec![("peer", p.into())]);
                 ctx.send(p, Msg::Ping);
                 ctx.set_timer(1_000, Tmr::Fire);
             }
+        }
+
+        fn msg_class(msg: &Msg) -> &'static str {
+            match msg {
+                Msg::Ping => "ping",
+                Msg::Pong => "pong",
+            }
+        }
+
+        fn timer_class(_t: &Tmr) -> &'static str {
+            "fire"
         }
     }
 
@@ -131,7 +147,11 @@ mod tests {
         world.fail(b);
         assert!(!world.is_live(b));
         world.run(Time::from_secs(5), |_, ()| {});
-        assert_eq!(world.node(a).unwrap().pongs, 0, "peer died before first ping");
+        assert_eq!(
+            world.node(a).unwrap().pongs,
+            0,
+            "peer died before first ping"
+        );
         assert!(world.stats().dropped > 0);
     }
 
@@ -160,7 +180,11 @@ mod tests {
             vec![1, 2, 3]
         );
         assert_eq!(world.live_count(), 1);
-        assert_eq!(world.now(), Time::from_secs(10), "clock advances to horizon");
+        assert_eq!(
+            world.now(),
+            Time::from_secs(10),
+            "clock advances to horizon"
+        );
     }
 
     #[test]
@@ -202,7 +226,78 @@ mod tests {
         world.leave(b);
         assert!(!world.is_live(b));
         world.run(Time::from_secs(1), |_, ()| {});
-        assert!(world.stats().delivered >= 1, "farewell message was delivered");
+        assert!(
+            world.stats().delivered >= 1,
+            "farewell message was delivered"
+        );
+    }
+
+    #[test]
+    fn trace_sinks_observe_every_scheduler_step() {
+        use crate::trace::{ClassCountSink, LivenessChecker, TraceEvent, VecSink};
+        let mut world = new_world(11);
+        let sink = VecSink::new();
+        let counts = ClassCountSink::new();
+        let checker = LivenessChecker::new();
+        world.add_trace_sink(Box::new(sink.clone()));
+        world.add_trace_sink(Box::new(counts.clone()));
+        world.add_trace_sink(Box::new(checker.clone()));
+        assert!(world.tracing());
+        let (a, b) = spawn_pair(&mut world);
+        world.run(Time::from_secs(3), |_, ()| {});
+        world.fail(b);
+        world.run(Time::from_secs(6), |_, ()| {});
+        world.flush_trace_sinks();
+        checker.assert_clean();
+
+        let evs = sink.events();
+        let lat = world.topology().latency(a, b).max(1);
+        let spawns = evs
+            .iter()
+            .filter(|(_, e)| matches!(e, TraceEvent::NodeSpawn { .. }))
+            .count();
+        assert_eq!(spawns, 2);
+        assert!(evs.iter().any(|(_, e)| matches!(
+            e,
+            TraceEvent::MsgSend { src, dst, class: "ping", latency_ms }
+                if *src == a && *dst == b && *latency_ms == lat
+        )));
+        assert!(evs.iter().any(|(_, e)| matches!(
+            e,
+            TraceEvent::MsgDeliver { class: "pong", dst, .. } if *dst == a
+        )));
+        assert!(
+            evs.iter().any(|(_, e)| matches!(
+                e,
+                TraceEvent::MsgDrop { class: "ping", dst, .. } if *dst == b
+            )),
+            "pings after the failure must be dropped"
+        );
+        assert!(evs
+            .iter()
+            .any(|(_, e)| matches!(e, TraceEvent::TimerFire { class: "fire", .. })));
+        assert!(evs.iter().any(|(_, e)| matches!(
+            e,
+            TraceEvent::Custom { name: "ping_round", node, .. } if *node == a
+        )));
+        assert!(counts.counts().get("ping").copied().unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn tracing_off_is_inert_and_identical() {
+        // Same seed with and without a sink: node-visible behaviour and the
+        // RNG stream must be bit-identical (tracing consumes no randomness).
+        let run = |traced: bool| {
+            let mut world = new_world(12);
+            if traced {
+                world.add_trace_sink(Box::new(crate::trace::VecSink::new()));
+            }
+            let (a, _b) = spawn_pair(&mut world);
+            world.run(Time::from_secs(30), |_, ()| {});
+            let r: u64 = world.rng().gen();
+            (world.node(a).unwrap().pongs, world.stats(), r)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -19,6 +19,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::topology::{LocalityId, Point, Topology};
+use crate::trace::{Fields, TraceEvent, TraceSink};
 use crate::Time;
 
 /// Dense identifier of a node in a [`World`]. Ids are never reused: a peer
@@ -68,6 +69,19 @@ pub trait Node {
     /// Called when the node leaves *gracefully* (it may send farewell
     /// messages). Silent failures — the paper's worst case — skip this.
     fn on_leave(&mut self, _ctx: &mut Ctx<Self>) {}
+
+    /// Stable protocol class of a message, used to label `MsgSend` /
+    /// `MsgDeliver` trace events and per-class message-rate gauges.
+    /// Only called when a trace sink is attached.
+    fn msg_class(_msg: &Self::Msg) -> &'static str {
+        "msg"
+    }
+
+    /// Stable protocol class of a timer, used to label `TimerSet` /
+    /// `TimerFire` trace events. Only called when a trace sink is attached.
+    fn timer_class(_timer: &Self::Timer) -> &'static str {
+        "timer"
+    }
 }
 
 /// Execution context passed to node callbacks. Collects the node's outputs
@@ -83,6 +97,8 @@ pub struct Ctx<'a, N: Node + ?Sized> {
     timers: Vec<(u64, N::Timer)>,
     reports: Vec<N::Report>,
     stop_self: bool,
+    tracing: bool,
+    customs: Vec<(&'static str, Fields)>,
 }
 
 impl<'a, N: Node + ?Sized> Ctx<'a, N> {
@@ -123,6 +139,21 @@ impl<'a, N: Node + ?Sized> Ctx<'a, N> {
     /// protocols that decide to retire a peer, e.g. a voluntary leave).
     pub fn stop(&mut self) {
         self.stop_self = true;
+    }
+
+    /// Whether a trace sink is attached to the world. Protocol code can
+    /// consult this to skip expensive trace-only bookkeeping.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Emit a protocol-defined [`TraceEvent::Custom`] attributed to this
+    /// node. `fields` is a closure so field construction costs nothing when
+    /// no sink is attached.
+    pub fn trace(&mut self, name: &'static str, fields: impl FnOnce() -> Fields) {
+        if self.tracing {
+            self.customs.push((name, fields()));
+        }
     }
 }
 
@@ -176,8 +207,7 @@ pub struct WorldStats {
 }
 
 /// Min-heap of pending events, keyed by (time, sequence).
-type EventQueue<N, C> =
-    BinaryHeap<Reverse<QueuedEvent<<N as Node>::Msg, <N as Node>::Timer, C>>>;
+type EventQueue<N, C> = BinaryHeap<Reverse<QueuedEvent<<N as Node>::Msg, <N as Node>::Timer, C>>>;
 
 /// The simulation world. `N` is the node implementation and `C` the
 /// engine-level control event type.
@@ -190,6 +220,7 @@ pub struct World<N: Node, C> {
     rng: StdRng,
     reports: Vec<(Time, NodeId, N::Report)>,
     stats: WorldStats,
+    sinks: Vec<Box<dyn TraceSink>>,
 }
 
 impl<N: Node, C> World<N, C> {
@@ -204,6 +235,33 @@ impl<N: Node, C> World<N, C> {
             rng: StdRng::seed_from_u64(seed),
             reports: Vec::new(),
             stats: WorldStats::default(),
+            sinks: Vec::new(),
+        }
+    }
+
+    /// Attach a [`TraceSink`]: from now on every scheduler step emits a
+    /// [`TraceEvent`] to it (and to any other attached sink, in attachment
+    /// order). Without sinks the event loop pays only an emptiness check.
+    pub fn add_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Whether any trace sink is attached.
+    pub fn tracing(&self) -> bool {
+        !self.sinks.is_empty()
+    }
+
+    /// Flush every attached sink (writers push buffered output here).
+    pub fn flush_trace_sinks(&mut self) {
+        for s in &mut self.sinks {
+            s.flush();
+        }
+    }
+
+    fn emit(&mut self, ev: TraceEvent) {
+        let now = self.now;
+        for s in &mut self.sinks {
+            s.event(now, &ev);
         }
     }
 
@@ -269,6 +327,12 @@ impl<N: Node, C> World<N, C> {
         let loc = self.topology.register(id, at);
         self.nodes.push(Some(make(id, loc)));
         self.stats.spawned += 1;
+        if !self.sinks.is_empty() {
+            self.emit(TraceEvent::NodeSpawn {
+                node: id,
+                locality: loc,
+            });
+        }
         self.with_node(id, |node, ctx| node.on_start(ctx));
         id
     }
@@ -281,6 +345,9 @@ impl<N: Node, C> World<N, C> {
         if let Some(slot) = self.nodes.get_mut(id.index()) {
             if slot.take().is_some() {
                 self.stats.removed += 1;
+                if !self.sinks.is_empty() {
+                    self.emit(TraceEvent::NodeFail { node: id });
+                }
             }
         }
     }
@@ -289,6 +356,9 @@ impl<N: Node, C> World<N, C> {
     /// hand-over messages), then it is removed.
     pub fn leave(&mut self, id: NodeId) {
         if self.is_live(id) {
+            if !self.sinks.is_empty() {
+                self.emit(TraceEvent::NodeLeave { node: id });
+            }
             self.with_node(id, |node, ctx| node.on_leave(ctx));
             self.fail(id);
             self.stats.removed -= 1; // fail() counted it; keep one count
@@ -327,14 +397,34 @@ impl<N: Node, C> World<N, C> {
                 EventKind::Deliver { to, from, msg } => {
                     if self.is_live(to) {
                         self.stats.delivered += 1;
+                        if !self.sinks.is_empty() {
+                            self.emit(TraceEvent::MsgDeliver {
+                                src: from,
+                                dst: to,
+                                class: N::msg_class(&msg),
+                            });
+                        }
                         self.with_node(to, |node, ctx| node.on_message(ctx, from, msg));
                     } else {
                         self.stats.dropped += 1;
+                        if !self.sinks.is_empty() {
+                            self.emit(TraceEvent::MsgDrop {
+                                src: from,
+                                dst: to,
+                                class: N::msg_class(&msg),
+                            });
+                        }
                     }
                 }
                 EventKind::Timer { node, timer } => {
                     if self.is_live(node) {
                         self.stats.timers += 1;
+                        if !self.sinks.is_empty() {
+                            self.emit(TraceEvent::TimerFire {
+                                node,
+                                class: N::timer_class(&timer),
+                            });
+                        }
                         self.with_node(node, |n, ctx| n.on_timer(ctx, timer));
                     }
                 }
@@ -365,6 +455,7 @@ impl<N: Node, C> World<N, C> {
         let Some(node) = slot.as_mut() else {
             return;
         };
+        let tracing = !self.sinks.is_empty();
         let mut ctx = Ctx {
             now: self.now,
             me: id,
@@ -374,6 +465,8 @@ impl<N: Node, C> World<N, C> {
             timers: Vec::new(),
             reports: Vec::new(),
             stop_self: false,
+            tracing,
+            customs: Vec::new(),
         };
         f(node, &mut ctx);
         let Ctx {
@@ -381,10 +474,26 @@ impl<N: Node, C> World<N, C> {
             timers,
             reports,
             stop_self,
+            customs,
             ..
         } = ctx;
+        for (name, fields) in customs {
+            self.emit(TraceEvent::Custom {
+                node: id,
+                name,
+                fields,
+            });
+        }
         for (to, msg) in sends {
             let delay = self.topology.latency(id, to).max(1);
+            if tracing {
+                self.emit(TraceEvent::MsgSend {
+                    src: id,
+                    dst: to,
+                    class: N::msg_class(&msg),
+                    latency_ms: delay,
+                });
+            }
             let at = self.now + delay;
             let seq = self.bump_seq();
             self.queue.push(Reverse(QueuedEvent {
@@ -394,6 +503,13 @@ impl<N: Node, C> World<N, C> {
             }));
         }
         for (delay, timer) in timers {
+            if tracing {
+                self.emit(TraceEvent::TimerSet {
+                    node: id,
+                    class: N::timer_class(&timer),
+                    delay_ms: delay.max(1),
+                });
+            }
             let at = self.now + delay.max(1);
             let seq = self.bump_seq();
             self.queue.push(Reverse(QueuedEvent {

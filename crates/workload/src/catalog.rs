@@ -131,7 +131,12 @@ impl Catalog {
         // Rejection failing 64 times means the local store covers nearly
         // all of the popular mass; pick uniformly among the missing ranks.
         let missing: Vec<u16> = (0..self.cfg.objects_per_site)
-            .filter(|&r| !already_has(ObjectId { website: ws, rank: r }))
+            .filter(|&r| {
+                !already_has(ObjectId {
+                    website: ws,
+                    rank: r,
+                })
+            })
             .collect();
         if missing.is_empty() {
             return None;
@@ -209,11 +214,16 @@ mod tests {
         let mut have = std::collections::HashSet::new();
         // Fill the store one object at a time; each draw must be new.
         for _ in 0..10 {
-            let o = c.sample_new_object(ws, &mut rng, |o| have.contains(&o)).unwrap();
+            let o = c
+                .sample_new_object(ws, &mut rng, |o| have.contains(&o))
+                .unwrap();
             assert!(have.insert(o));
         }
         // Store is complete: nothing left to ask for.
-        assert_eq!(c.sample_new_object(ws, &mut rng, |o| have.contains(&o)), None);
+        assert_eq!(
+            c.sample_new_object(ws, &mut rng, |o| have.contains(&o)),
+            None
+        );
     }
 
     #[test]

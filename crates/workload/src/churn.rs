@@ -128,10 +128,13 @@ mod tests {
         let cfg = ChurnConfig::paper(5_000);
         let mut rng = StdRng::seed_from_u64(3);
         let sessions = generate_sessions(&cfg, 0, &mut rng);
-        let mean_ms: f64 = sessions.iter().map(|s| s.lifetime_ms as f64).sum::<f64>()
-            / sessions.len() as f64;
+        let mean_ms: f64 =
+            sessions.iter().map(|s| s.lifetime_ms as f64).sum::<f64>() / sessions.len() as f64;
         let want = 60.0 * 60_000.0;
-        assert!((mean_ms - want).abs() / want < 0.02, "mean uptime {mean_ms}");
+        assert!(
+            (mean_ms - want).abs() / want < 0.02,
+            "mean uptime {mean_ms}"
+        );
         // Median of an exponential is m·ln2 ≈ 41.6 min — churn is *heavy*:
         // half of all peers live less than 42 minutes.
         let mut lifetimes: Vec<u64> = sessions.iter().map(|s| s.lifetime_ms).collect();

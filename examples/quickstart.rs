@@ -41,5 +41,8 @@ fn main() {
         "directory repairs   : {} (positions re-claimed after failures)",
         result.replacements
     );
-    assert!(result.stats.queries > 0, "the workload must produce queries");
+    assert!(
+        result.stats.queries > 0,
+        "the workload must produce queries"
+    );
 }

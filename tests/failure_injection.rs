@@ -33,7 +33,10 @@ fn assassinated_directories_are_replaced_and_index_rebuilt() {
         .take(8)
         .map(|(id, pos, _)| (*id, *pos))
         .collect();
-    assert!(!victims.is_empty(), "need loaded directories to assassinate");
+    assert!(
+        !victims.is_empty(),
+        "need loaded directories to assassinate"
+    );
     for (id, _) in &victims {
         sim.fail_peer(*id);
     }
@@ -51,10 +54,7 @@ fn assassinated_directories_are_replaced_and_index_rebuilt() {
             // (full pushes after claim denial, §5.2.2).
             let members = sim.petal_members(*pos).len();
             if members > 0 {
-                assert!(
-                    *load > 0,
-                    "replacement at {pos:?} never rebuilt its index"
-                );
+                assert!(*load > 0, "replacement at {pos:?} never rebuilt its index");
             }
         }
     }

@@ -1,0 +1,251 @@
+//! Hermetic stand-in for the `criterion` crate (API subset of 0.5).
+//!
+//! The repository must build and bench offline (`vendor/README.md`), so the
+//! workspace pins `criterion` to this in-tree implementation. It keeps the
+//! macro/builder surface the benches use (`criterion_group!`,
+//! `criterion_main!`, `benchmark_group`, `bench_function`, `iter`,
+//! `iter_batched`, `sample_size`) and reports mean/min wall-clock time per
+//! iteration on stdout — no statistics engine, no plotting, no HTML.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How much setup output to batch per timing measurement (subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement: Duration::from_millis(400),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement: Duration,
+    sample_size: usize,
+    // Mirrors upstream's borrow of the parent `Criterion`.
+    #[allow(dead_code)]
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            budget: self.measurement,
+            samples: self.sample_size,
+            stats: None,
+        };
+        f(&mut bencher);
+        match bencher.stats {
+            Some(s) => println!(
+                "{}/{:<28} time: [mean {:>12} min {:>12}] ({} iters)",
+                self.name,
+                id,
+                fmt_ns(s.mean_ns),
+                fmt_ns(s.min_ns),
+                s.iters
+            ),
+            None => println!("{}/{:<28} (no measurement)", self.name, id),
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    mean_ns: f64,
+    min_ns: f64,
+    iters: u64,
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    budget: Duration,
+    samples: usize,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    /// Time `routine` back-to-back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One calibration call decides how many iterations fit the budget.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            (self.budget.as_nanos() / self.samples.max(1) as u128 / once.as_nanos().max(1))
+                .clamp(1, 10_000_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+            iters += per_sample;
+            if total >= self.budget {
+                break;
+            }
+        }
+        self.stats = Some(Stats {
+            mean_ns: total.as_nanos() as f64 / iters.max(1) as f64,
+            min_ns: min.as_nanos() as f64 / per_sample.max(1) as f64,
+            iters,
+        });
+    }
+
+    /// Time `routine` on inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            (self.budget.as_nanos() / self.samples.max(1) as u128 / once.as_nanos().max(1))
+                .clamp(1, 1_000_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let inputs: Vec<I> = (0..per_sample).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+            iters += per_sample;
+            if total >= self.budget {
+                break;
+            }
+        }
+        self.stats = Some(Stats {
+            mean_ns: total.as_nanos() as f64 / iters.max(1) as f64,
+            min_ns: min.as_nanos() as f64 / per_sample.max(1) as f64,
+            iters,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// `criterion_group!(name, target_fn, ...)` — the plain form only.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut acc = 0u64;
+        g.bench_function("add", |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(1);
+                acc
+            })
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, tiny);
+
+    #[test]
+    fn group_macro_runs_targets() {
+        // Keep the budget tiny so the test is fast.
+        benches();
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.0), "12.0 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.500 µs");
+        assert_eq!(fmt_ns(2_000_000.0), "2.000 ms");
+        assert_eq!(fmt_ns(3.2e9), "3.200 s");
+    }
+}

@@ -1,0 +1,351 @@
+//! Hermetic stand-in for the `proptest` crate (API subset of proptest 1.x).
+//!
+//! The repository must build and test offline (`vendor/README.md`), so the
+//! workspace pins `proptest` to this in-tree implementation. It covers the
+//! surface the test suite uses — the `proptest!` macro, `Strategy` with
+//! `prop_map`, range/tuple/`any`/`collection::vec` strategies, the
+//! `prop_assert*`/`prop_assume!` macros and `ProptestConfig::with_cases` —
+//! with honest random-case generation but **no shrinking**: a failing case
+//! reports its inputs via the panic message instead of minimizing them.
+//!
+//! Case generation is deterministic per (test name, case index), so failures
+//! reproduce across runs without a persistence file.
+
+pub mod strategy;
+
+pub mod test_runner {
+    /// Outcome of a single generated case.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// A `prop_assert*` failed: the whole test fails.
+        Fail(String),
+        /// A `prop_assume!` rejected the inputs: the case is skipped.
+        Reject(String),
+    }
+
+    /// Runner configuration (subset of upstream).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each `#[test]` executes.
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// SplitMix64 stream, seeded from the test name so each property gets
+    /// an independent but reproducible sequence.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform double in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty strategy range");
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            // Finite, sign-balanced, spanning many magnitudes.
+            let m = rng.unit_f64() * 2.0 - 1.0;
+            let e = (rng.below(121) as i32) - 60;
+            m * 2f64.powi(e)
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary + std::fmt::Debug> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn sample_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// Strategy over the whole domain of `T`.
+    pub fn any<T: Arbitrary + std::fmt::Debug>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", ..)` — fail the case
+/// without aborting the process mid-unwinding.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {:?} == {:?}: {}", a, b, format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: {:?} != {:?}: {}", a, b, format!($($fmt)*)
+        );
+    }};
+}
+
+/// `prop_assume!(cond)` — skip the case when its inputs are uninteresting.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Binds the parameters of one property from its strategies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_params {
+    ($rng:ident;) => {};
+    ($rng:ident; mut $name:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        let mut $name = $crate::strategy::Strategy::sample_value(&($strat), &mut $rng);
+        $($crate::__proptest_params!($rng; $($rest)*);)?
+    };
+    ($rng:ident; $name:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        let $name = $crate::strategy::Strategy::sample_value(&($strat), &mut $rng);
+        $($crate::__proptest_params!($rng; $($rest)*);)?
+    };
+    ($rng:ident; mut $name:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let mut $name: $ty =
+            $crate::strategy::Strategy::sample_value(&$crate::arbitrary::any::<$ty>(), &mut $rng);
+        $($crate::__proptest_params!($rng; $($rest)*);)?
+    };
+    ($rng:ident; $name:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let $name: $ty =
+            $crate::strategy::Strategy::sample_value(&$crate::arbitrary::any::<$ty>(), &mut $rng);
+        $($crate::__proptest_params!($rng; $($rest)*);)?
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng =
+                $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let outcome = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $crate::__proptest_params!(rng; $($params)*);
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("property {} failed at case {}/{}: {}",
+                               stringify!($name), case, config.cases, msg);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns!(@cfg($cfg) $($rest)*);
+    };
+}
+
+/// The `proptest!` block: an optional `#![proptest_config(..)]` followed by
+/// ordinary `#[test] fn name(strategy params) { .. }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(@cfg($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(@cfg($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Mixed `in`-strategy and `: Type` parameters bind correctly.
+        #[test]
+        fn prop_params_bind(seed: u64, n in 3usize..9, x in 0.5f64..2.0) {
+            let _ = seed;
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((0.5..2.0).contains(&x));
+        }
+
+        /// Tuples + prop_map + collection::vec compose.
+        #[test]
+        fn prop_composition(
+            mut pairs in crate::collection::vec((0u32..10, any::<u8>()).prop_map(|(a, b)| (a, b)), 1..20),
+        ) {
+            pairs.push((3, 7));
+            for (a, _) in &pairs {
+                prop_assert!(*a < 10);
+            }
+        }
+
+        /// Rejected cases are skipped, not failed.
+        #[test]
+        fn prop_assume_skips(a in 0u8..4, b in 0u8..4) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property prop_fails failed")]
+    fn failing_property_panics_with_context() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn prop_fails(v in 0u64..8) {
+                prop_assert!(v > 100, "v was {}", v);
+            }
+        }
+        prop_fails();
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::deterministic("x");
+        let mut b = crate::test_runner::TestRng::deterministic("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

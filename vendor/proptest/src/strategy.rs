@@ -1,0 +1,128 @@
+//! Value-generation strategies (subset of `proptest::strategy`).
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike upstream proptest there is no value tree and no shrinking: a
+/// strategy is just a sampler. `Debug` on the value keeps failure messages
+/// useful.
+pub trait Strategy {
+    type Value;
+
+    /// Draw one value.
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample_value(rng))
+    }
+}
+
+/// Strategy producing a single constant value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let off = (rng.next_u64() as u128 % span) as $t;
+                self.start.wrapping_add(off)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident | $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A | 0);
+    (A | 0, B | 1);
+    (A | 0, B | 1, C | 2);
+    (A | 0, B | 1, C | 2, D | 3);
+    (A | 0, B | 1, C | 2, D | 3, E | 4);
+    (A | 0, B | 1, C | 2, D | 3, E | 4, F | 5);
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample_value(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample_value(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..500 {
+            let v = (5u32..9).sample_value(&mut rng);
+            assert!((5..9).contains(&v));
+            let f = (0.0f64..1.0).sample_value(&mut rng);
+            assert!((0.0..1.0).contains(&f));
+            let s = (-3i64..3).sample_value(&mut rng);
+            assert!((-3..3).contains(&s));
+        }
+    }
+
+    #[test]
+    fn map_and_tuples_compose() {
+        let mut rng = TestRng::deterministic("map");
+        let strat = (0u8..4, 10u8..14).prop_map(|(a, b)| u16::from(a) + u16::from(b));
+        for _ in 0..100 {
+            let v = strat.sample_value(&mut rng);
+            assert!((10..18).contains(&v));
+        }
+        assert_eq!(Just(41).sample_value(&mut rng), 41);
+    }
+}
