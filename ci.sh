@@ -17,4 +17,7 @@ cargo fmt --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> resilience smoke (scripted faults, recovery asserted)"
+cargo run --release -p flower-bench --bin resilience -- --quick --assert-recovery
+
 echo "==> CI green"

@@ -10,7 +10,9 @@
 //!   `PATH` (Squirrel runs land in a `.squirrel.jsonl` sibling); one
 //!   query's causal path is the set of lines sharing its `qid`;
 //! * `--gauges MS` — sample live gauges (population, D-ring size, petal
-//!   sizes, per-class message rates) every `MS` of virtual time.
+//!   sizes, per-class message rates) every `MS` of virtual time;
+//! * `--scenario FILE` — apply a [`chaos`] fault schedule (scenario text
+//!   format; see `DESIGN.md` §7) identically to every simulated system.
 //!
 //! Without flags, binaries run the **paper-scale** configuration
 //! (Table 1: 24 simulated hours, 100 websites × 500 objects, k = 6,
@@ -39,6 +41,12 @@ pub struct HarnessOpts {
     pub trace_out: Option<std::path::PathBuf>,
     /// Gauge sampling period in virtual ms (`--gauges`).
     pub gauge_period_ms: Option<u64>,
+    /// Fault schedule to apply to every system (`--scenario`).
+    pub scenario: Option<flower_cdn::Scenario>,
+    /// Fail the process unless the run demonstrates recovery
+    /// (`--assert-recovery`; consumed by the `resilience` binary, where it
+    /// turns the printed resilience report into hard assertions for CI).
+    pub assert_recovery: bool,
 }
 
 impl HarnessOpts {
@@ -50,6 +58,8 @@ impl HarnessOpts {
             seed: None,
             trace_out: None,
             gauge_period_ms: None,
+            scenario: None,
+            assert_recovery: false,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -72,10 +82,20 @@ impl HarnessOpts {
                     opts.gauge_period_ms =
                         Some(v.parse().expect("gauge period must be a number of ms"));
                 }
+                "--scenario" => {
+                    let v = args.next().expect("--scenario needs a file path");
+                    let sc = flower_cdn::Scenario::load(&v).unwrap_or_else(|e| {
+                        eprintln!("bad scenario: {e}");
+                        std::process::exit(2);
+                    });
+                    opts.scenario = Some(sc);
+                }
+                "--assert-recovery" => opts.assert_recovery = true,
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: <bin> [--quick] [--population N] [--seed N] \
-                         [--trace-out PATH] [--gauges MS]"
+                         [--trace-out PATH] [--gauges MS] [--scenario FILE] \
+                         [--assert-recovery]"
                     );
                     std::process::exit(0);
                 }
@@ -94,6 +114,7 @@ impl HarnessOpts {
         Instrumentation {
             trace_out: self.trace_out.clone(),
             gauge_period_ms: self.gauge_period_ms,
+            scenario: self.scenario.clone(),
         }
     }
 
@@ -143,6 +164,8 @@ mod tests {
             seed: None,
             trace_out: None,
             gauge_period_ms: None,
+            scenario: None,
+            assert_recovery: false,
         };
         let p = opts.params(3_000);
         assert_eq!(p.population, 3_000);
@@ -158,6 +181,8 @@ mod tests {
             seed: Some(9),
             trace_out: None,
             gauge_period_ms: None,
+            scenario: None,
+            assert_recovery: false,
         };
         let p = opts.params(3_000);
         assert_eq!(p.population, 123);

@@ -1,0 +1,505 @@
+//! Resilience measurement: a [`TraceSink`] that turns the protocol trace
+//! stream into recovery records and an availability timeline.
+//!
+//! The tracker watches four things:
+//!
+//! * directory ownership — [`tags::BECAME_DIRECTORY`] / [`tags::DEMOTED`]
+//!   events plus `NodeFail` build a live map of who holds each directory
+//!   position;
+//! * faults — when a holder dies, a [`Recovery`] opens for each position
+//!   it held, stamped with the death time;
+//! * repair — the next `became_directory` at that position closes the
+//!   "replaced" leg, and the first hit-`redirect` served *by the
+//!   replacement node* closes the "served" leg. MTTR (the paper's
+//!   recovery story, §5.2.2) is `served_at − died_at`: the window during
+//!   which clients of that locality fell back to the origin;
+//! * availability — every [`tags::QUERY_COMPLETE`] lands in a fixed-width
+//!   time bucket as a hit (served from the overlay) or a miss (origin),
+//!   yielding the degraded-mode hit-ratio timeline around each fault.
+//!
+//! Like the other sinks it is a cheap handle around shared state: keep a
+//! clone, attach the other to the world, read [`summary`] after the run.
+//! The summary is plain owned data (`Send`), so harnesses can compute it
+//! inside a worker thread and move it out.
+//!
+//! [`summary`]: ResilienceTracker::summary
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use simnet::{FieldValue, Fields, NodeId, Time, TraceEvent, TraceSink};
+
+use crate::tags;
+
+/// Directory position key: (website, locality, instance).
+type Pos = (u64, u64, u64);
+
+/// The repair timeline of one killed directory position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recovery {
+    pub website: u64,
+    pub locality: u64,
+    pub instance: u64,
+    /// When the holder failed.
+    pub died_at_ms: u64,
+    /// When a replacement installed itself at the position (§5.2.2 claim
+    /// protocol), if it ever did.
+    pub replaced_at_ms: Option<u64>,
+    /// When the replacement first answered a query with a hit — the end
+    /// of the degraded window; `served − died` is this fault's TTR.
+    pub served_at_ms: Option<u64>,
+}
+
+impl Recovery {
+    /// Time-to-repair, if the replacement got as far as serving.
+    pub fn ttr_ms(&self) -> Option<u64> {
+        self.served_at_ms.map(|s| s - self.died_at_ms)
+    }
+}
+
+/// One fixed-width slice of the availability timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AvailabilityBucket {
+    pub start_ms: u64,
+    /// Queries served from the overlay (content or directory peers).
+    pub hits: u64,
+    /// Queries that fell back to the origin.
+    pub misses: u64,
+}
+
+impl AvailabilityBucket {
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Owned, thread-movable results of a run.
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceSummary {
+    /// One record per directory position whose holder failed, in death
+    /// order.
+    pub recoveries: Vec<Recovery>,
+    /// Hit/miss counts per time bucket, in time order.
+    pub availability: Vec<AvailabilityBucket>,
+}
+
+impl ResilienceSummary {
+    /// Positions where a replacement installed itself.
+    pub fn replaced(&self) -> usize {
+        self.recoveries
+            .iter()
+            .filter(|r| r.replaced_at_ms.is_some())
+            .count()
+    }
+
+    /// Positions whose replacement went on to serve a query.
+    pub fn served(&self) -> usize {
+        self.recoveries
+            .iter()
+            .filter(|r| r.served_at_ms.is_some())
+            .count()
+    }
+
+    /// Mean time from kill to first replacement-served query, over the
+    /// recoveries that completed. `None` when none did (e.g. Squirrel,
+    /// which has no directory replacement protocol).
+    pub fn mean_ttr_ms(&self) -> Option<f64> {
+        let ttrs: Vec<u64> = self
+            .recoveries
+            .iter()
+            .filter_map(Recovery::ttr_ms)
+            .collect();
+        if ttrs.is_empty() {
+            None
+        } else {
+            Some(ttrs.iter().sum::<u64>() as f64 / ttrs.len() as f64)
+        }
+    }
+
+    /// Lowest bucket hit ratio at or after `from_ms` — the depth of the
+    /// degraded window (ignores empty buckets).
+    pub fn worst_hit_ratio_after(&self, from_ms: u64) -> Option<f64> {
+        self.availability
+            .iter()
+            .filter(|b| b.start_ms >= from_ms && b.hits + b.misses > 0)
+            .map(AvailabilityBucket::hit_ratio)
+            .min_by(|a, b| a.total_cmp(b))
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    bucket_ms: u64,
+    /// Current holder of each directory position.
+    positions: BTreeMap<Pos, NodeId>,
+    /// Inverse of `positions`.
+    holdings: BTreeMap<NodeId, Vec<Pos>>,
+    recoveries: Vec<Recovery>,
+    /// Positions with an open (not yet replaced) recovery.
+    open_by_pos: BTreeMap<Pos, usize>,
+    /// Replacement node → recoveries awaiting its first served hit.
+    watch_serve: BTreeMap<NodeId, Vec<usize>>,
+    /// Bucket start → (hits, misses).
+    buckets: BTreeMap<u64, (u64, u64)>,
+}
+
+/// The tracker: attach one clone to the world as a sink, keep the other.
+#[derive(Debug, Clone)]
+pub struct ResilienceTracker {
+    state: Rc<RefCell<State>>,
+}
+
+fn field_u64(fields: &Fields, key: &str) -> Option<u64> {
+    fields.iter().find(|(k, _)| *k == key).and_then(|(_, v)| {
+        if let FieldValue::U64(x) = v {
+            Some(*x)
+        } else {
+            None
+        }
+    })
+}
+
+fn field_bool(fields: &Fields, key: &str) -> Option<bool> {
+    fields.iter().find(|(k, _)| *k == key).and_then(|(_, v)| {
+        if let FieldValue::Bool(b) = v {
+            Some(*b)
+        } else {
+            None
+        }
+    })
+}
+
+fn field_str<'a>(fields: &'a Fields, key: &str) -> Option<&'a str> {
+    fields.iter().find(|(k, _)| *k == key).and_then(|(_, v)| {
+        if let FieldValue::Str(s) = v {
+            Some(*s)
+        } else {
+            None
+        }
+    })
+}
+
+fn pos_of(fields: &Fields) -> Option<Pos> {
+    Some((
+        field_u64(fields, "ws")?,
+        field_u64(fields, "loc")?,
+        field_u64(fields, "inst")?,
+    ))
+}
+
+impl ResilienceTracker {
+    /// `bucket_ms` is the availability-timeline resolution.
+    pub fn new(bucket_ms: u64) -> ResilienceTracker {
+        assert!(bucket_ms > 0, "bucket width must be positive");
+        ResilienceTracker {
+            state: Rc::new(RefCell::new(State {
+                bucket_ms,
+                ..State::default()
+            })),
+        }
+    }
+
+    /// Snapshot the results (callable mid-run or after).
+    pub fn summary(&self) -> ResilienceSummary {
+        let st = self.state.borrow();
+        ResilienceSummary {
+            recoveries: st.recoveries.clone(),
+            availability: st
+                .buckets
+                .iter()
+                .map(|(&start_ms, &(hits, misses))| AvailabilityBucket {
+                    start_ms,
+                    hits,
+                    misses,
+                })
+                .collect(),
+        }
+    }
+
+    /// Directory positions currently tracked as held.
+    pub fn live_directories(&self) -> usize {
+        self.state.borrow().positions.len()
+    }
+}
+
+impl State {
+    fn vacate(&mut self, pos: Pos, holder: NodeId) {
+        self.positions.remove(&pos);
+        if let Some(held) = self.holdings.get_mut(&holder) {
+            held.retain(|p| *p != pos);
+        }
+    }
+
+    fn on_custom(&mut self, at_ms: u64, node: NodeId, name: &str, fields: &Fields) {
+        match name {
+            tags::BECAME_DIRECTORY => {
+                let Some(pos) = pos_of(fields) else { return };
+                if let Some(prev) = self.positions.insert(pos, node) {
+                    if let Some(held) = self.holdings.get_mut(&prev) {
+                        held.retain(|p| *p != pos);
+                    }
+                }
+                self.holdings.entry(node).or_default().push(pos);
+                if let Some(idx) = self.open_by_pos.remove(&pos) {
+                    self.recoveries[idx].replaced_at_ms = Some(at_ms);
+                    self.watch_serve.entry(node).or_default().push(idx);
+                }
+            }
+            tags::DEMOTED => {
+                // Voluntary handover, not a fault: the position empties
+                // without opening a recovery.
+                let Some(pos) = pos_of(fields) else { return };
+                if self.positions.get(&pos) == Some(&node) {
+                    self.vacate(pos, node);
+                }
+            }
+            tags::REDIRECT => {
+                if field_bool(fields, "hit") != Some(true) {
+                    return;
+                }
+                if let Some(idxs) = self.watch_serve.remove(&node) {
+                    for idx in idxs {
+                        let r = &mut self.recoveries[idx];
+                        if r.served_at_ms.is_none() {
+                            r.served_at_ms = Some(at_ms);
+                        }
+                    }
+                }
+            }
+            tags::QUERY_COMPLETE => {
+                let hit = field_str(fields, "provider")
+                    .map(|p| p != tags::PROVIDER_ORIGIN)
+                    .unwrap_or(false);
+                let start = at_ms - at_ms % self.bucket_ms;
+                let bucket = self.buckets.entry(start).or_insert((0, 0));
+                if hit {
+                    bucket.0 += 1;
+                } else {
+                    bucket.1 += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl TraceSink for ResilienceTracker {
+    fn event(&mut self, at: Time, ev: &TraceEvent) {
+        let mut st = self.state.borrow_mut();
+        let at_ms = at.as_millis();
+        match ev {
+            TraceEvent::NodeFail { node } => {
+                for pos in st.holdings.remove(node).unwrap_or_default() {
+                    st.positions.remove(&pos);
+                    let idx = st.recoveries.len();
+                    st.recoveries.push(Recovery {
+                        website: pos.0,
+                        locality: pos.1,
+                        instance: pos.2,
+                        died_at_ms: at_ms,
+                        replaced_at_ms: None,
+                        served_at_ms: None,
+                    });
+                    st.open_by_pos.insert(pos, idx);
+                }
+                // A replacement that dies before serving never closes its
+                // served leg.
+                st.watch_serve.remove(node);
+            }
+            TraceEvent::Custom { node, name, fields } => {
+                st.on_custom(at_ms, *node, name, fields);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn became(ws: u64, loc: u64, inst: u64) -> Fields {
+        vec![
+            ("ws", FieldValue::U64(ws)),
+            ("loc", FieldValue::U64(loc)),
+            ("inst", FieldValue::U64(inst)),
+            ("replacement", FieldValue::Bool(true)),
+        ]
+    }
+
+    fn ev(t: &mut ResilienceTracker, at_ms: u64, e: TraceEvent) {
+        t.event(Time(at_ms), &e);
+    }
+
+    fn custom(node: usize, name: &'static str, fields: Fields) -> TraceEvent {
+        TraceEvent::Custom {
+            node: NodeId::from_index(node),
+            name,
+            fields,
+        }
+    }
+
+    #[test]
+    fn kill_replace_serve_yields_a_full_recovery() {
+        let mut t = ResilienceTracker::new(60_000);
+        ev(
+            &mut t,
+            0,
+            custom(1, tags::BECAME_DIRECTORY, became(0, 2, 0)),
+        );
+        assert_eq!(t.live_directories(), 1);
+        ev(
+            &mut t,
+            100_000,
+            TraceEvent::NodeFail {
+                node: NodeId::from_index(1),
+            },
+        );
+        assert_eq!(t.live_directories(), 0);
+        ev(
+            &mut t,
+            130_000,
+            custom(5, tags::BECAME_DIRECTORY, became(0, 2, 0)),
+        );
+        // A hit served by an unrelated node does not close the window…
+        ev(
+            &mut t,
+            135_000,
+            custom(
+                9,
+                tags::REDIRECT,
+                vec![("qid", FieldValue::U64(1)), ("hit", FieldValue::Bool(true))],
+            ),
+        );
+        // …a miss from the replacement doesn't either…
+        ev(
+            &mut t,
+            140_000,
+            custom(
+                5,
+                tags::REDIRECT,
+                vec![
+                    ("qid", FieldValue::U64(2)),
+                    ("hit", FieldValue::Bool(false)),
+                ],
+            ),
+        );
+        // …its first hit does.
+        ev(
+            &mut t,
+            150_000,
+            custom(
+                5,
+                tags::REDIRECT,
+                vec![("qid", FieldValue::U64(3)), ("hit", FieldValue::Bool(true))],
+            ),
+        );
+        let s = t.summary();
+        assert_eq!(s.recoveries.len(), 1);
+        let r = s.recoveries[0];
+        assert_eq!((r.website, r.locality, r.instance), (0, 2, 0));
+        assert_eq!(r.died_at_ms, 100_000);
+        assert_eq!(r.replaced_at_ms, Some(130_000));
+        assert_eq!(r.served_at_ms, Some(150_000));
+        assert_eq!(r.ttr_ms(), Some(50_000));
+        assert_eq!(s.mean_ttr_ms(), Some(50_000.0));
+        assert_eq!((s.replaced(), s.served()), (1, 1));
+    }
+
+    #[test]
+    fn unreplaced_kill_stays_open_and_demotion_opens_nothing() {
+        let mut t = ResilienceTracker::new(60_000);
+        ev(
+            &mut t,
+            0,
+            custom(1, tags::BECAME_DIRECTORY, became(0, 0, 0)),
+        );
+        ev(
+            &mut t,
+            10,
+            custom(2, tags::BECAME_DIRECTORY, became(1, 0, 0)),
+        );
+        // Voluntary demotion of node 2: no recovery.
+        ev(
+            &mut t,
+            5_000,
+            custom(
+                2,
+                tags::DEMOTED,
+                vec![
+                    ("ws", FieldValue::U64(1)),
+                    ("loc", FieldValue::U64(0)),
+                    ("inst", FieldValue::U64(0)),
+                ],
+            ),
+        );
+        ev(
+            &mut t,
+            6_000,
+            TraceEvent::NodeFail {
+                node: NodeId::from_index(2),
+            },
+        );
+        // Kill node 1: recovery opens and never closes.
+        ev(
+            &mut t,
+            9_000,
+            TraceEvent::NodeFail {
+                node: NodeId::from_index(1),
+            },
+        );
+        let s = t.summary();
+        assert_eq!(s.recoveries.len(), 1);
+        assert_eq!(s.recoveries[0].replaced_at_ms, None);
+        assert_eq!(s.mean_ttr_ms(), None);
+        assert_eq!((s.replaced(), s.served()), (0, 0));
+    }
+
+    #[test]
+    fn availability_buckets_split_hits_from_origin_fallbacks() {
+        let mut t = ResilienceTracker::new(1_000);
+        let q = |p: &'static str| {
+            vec![
+                ("qid", FieldValue::U64(7)),
+                ("provider", FieldValue::Str(p)),
+            ]
+        };
+        ev(
+            &mut t,
+            100,
+            custom(3, tags::QUERY_COMPLETE, q("content_peer")),
+        );
+        ev(
+            &mut t,
+            200,
+            custom(3, tags::QUERY_COMPLETE, q("directory_peer")),
+        );
+        ev(&mut t, 900, custom(3, tags::QUERY_COMPLETE, q("origin")));
+        ev(&mut t, 1_500, custom(3, tags::QUERY_COMPLETE, q("origin")));
+        let s = t.summary();
+        assert_eq!(
+            s.availability,
+            vec![
+                AvailabilityBucket {
+                    start_ms: 0,
+                    hits: 2,
+                    misses: 1
+                },
+                AvailabilityBucket {
+                    start_ms: 1_000,
+                    hits: 0,
+                    misses: 1
+                },
+            ]
+        );
+        assert!((s.availability[0].hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.worst_hit_ratio_after(0), Some(0.0));
+        assert_eq!(s.worst_hit_ratio_after(2_000), None);
+    }
+}

@@ -279,6 +279,16 @@ impl Chord {
             .is_some_and(|p| key.in_open_closed(p.id, self.me.id))
     }
 
+    /// A deliberate first node ([`Chord::create`] / one-member
+    /// [`Chord::converged`]) that is still alone on its ring: nobody has
+    /// joined yet, so it has neither predecessor nor successors — and it
+    /// genuinely owns every key. [`Chord::owns_strict`] is necessarily
+    /// false for such a node (no predecessor), so ownership arbitration
+    /// must consult this too or a fresh ring could never grant anything.
+    pub fn is_sole_member(&self) -> bool {
+        self.standalone && self.predecessor.is_none() && self.successors.is_empty()
+    }
+
     // ------------------------------------------------------------------
     // Host entry points
     // ------------------------------------------------------------------

@@ -120,6 +120,7 @@ impl H {
                             src: from,
                             dst: to,
                             class,
+                            reason: simnet::DropReason::DeadDestination,
                         });
                     }
                 }

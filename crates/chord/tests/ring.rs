@@ -165,6 +165,7 @@ impl Harness {
                             src: from,
                             dst: to,
                             class,
+                            reason: simnet::DropReason::DeadDestination,
                         });
                     }
                 }

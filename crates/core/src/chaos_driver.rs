@@ -1,0 +1,171 @@
+//! Bridges [`chaos`] scenarios into the experiment engines.
+//!
+//! Both [`FlowerSim`](crate::engine::FlowerSim) and
+//! [`SquirrelSim`](crate::squirrel::SquirrelSim) accept a
+//! [`chaos::Scenario`] via `apply_scenario`: every scheduled fault becomes
+//! an engine control event, executed by the engine's own control handler so
+//! that chaos shares the engine RNG stream and stays deterministic per
+//! (seed, scenario). This module holds the engine-agnostic pieces: victim
+//! sampling, the environment faults that act on the world itself
+//! (partitions, link faults), and the origin "dial" that models origin
+//! brownouts.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use chaos::FaultAction;
+use rand::rngs::StdRng;
+use rand::Rng;
+use simnet::{LocalityId, Node, NodeId, World};
+use workload::WebsiteId;
+
+/// Shared origin-server health state, one per simulation.
+///
+/// The origin is modelled as a latency, not a peer, so a brownout is an
+/// extra one-way delay added to every origin round trip while it lasts.
+/// Peers hold this through their context (`PeerCtx` / `SqCtx`); the chaos
+/// dispatch flips it from the engine side.
+#[derive(Debug, Default)]
+pub struct OriginDial {
+    /// `(website filter, extra one-way ms)`; `None` = origins healthy.
+    state: Cell<Option<(Option<u16>, u64)>>,
+}
+
+impl OriginDial {
+    pub fn shared() -> Rc<OriginDial> {
+        Rc::new(OriginDial::default())
+    }
+
+    /// Slow down the origin of `website` (or all origins) by `extra_ms`
+    /// one-way.
+    pub fn brownout(&self, website: Option<u16>, extra_ms: u64) {
+        self.state.set(Some((website, extra_ms)));
+    }
+
+    /// Return all origins to nominal latency.
+    pub fn restore(&self) {
+        self.state.set(None);
+    }
+
+    /// Extra one-way latency currently afflicting `website`'s origin.
+    pub fn extra_ms(&self, website: WebsiteId) -> u64 {
+        match self.state.get() {
+            Some((None, extra)) => extra,
+            Some((Some(w), extra)) if w == website.0 => extra,
+            _ => 0,
+        }
+    }
+}
+
+/// Sample up to `count` distinct live nodes, optionally restricted to one
+/// locality, keeping only nodes `keep` accepts. Selection is a partial
+/// Fisher–Yates over the (deterministically ordered) live set, so the same
+/// engine RNG state always picks the same victims.
+pub(crate) fn sample_nodes<N: Node, C>(
+    world: &World<N, C>,
+    count: usize,
+    locality: Option<LocalityId>,
+    rng: &mut StdRng,
+    keep: impl Fn(NodeId, &N) -> bool,
+) -> Vec<NodeId> {
+    let mut ids: Vec<NodeId> = world
+        .live_nodes()
+        .filter(|&(id, n)| {
+            locality.is_none_or(|l| world.topology().locality(id) == l) && keep(id, n)
+        })
+        .map(|(id, _)| id)
+        .collect();
+    if count < ids.len() {
+        for i in 0..count {
+            let j = rng.gen_range(i..ids.len());
+            ids.swap(i, j);
+        }
+        ids.truncate(count);
+    }
+    ids
+}
+
+/// Apply an *environment* fault — one that acts on the world's link
+/// conditioner or the origin dial rather than on specific peers. Returns
+/// the follow-up action the engine must schedule (auto-heal / auto-revert
+/// tails), as `(delay_ms, action)`.
+///
+/// Panics if handed a peer-targeted action (`Kill*`, `*Wave`); those are
+/// engine-specific and dispatched by the engines themselves.
+pub(crate) fn apply_env_action<N: Node, C>(
+    world: &mut World<N, C>,
+    dial: &OriginDial,
+    action: &FaultAction,
+) -> Option<(u64, FaultAction)> {
+    match action {
+        FaultAction::Partition {
+            locality,
+            heal_after_ms,
+        } => {
+            world
+                .conditioner_mut()
+                .partition(LocalityId(*locality as u16));
+            heal_after_ms.map(|after| {
+                (
+                    after,
+                    FaultAction::Heal {
+                        locality: Some(*locality),
+                    },
+                )
+            })
+        }
+        FaultAction::Heal { locality } => {
+            match locality {
+                Some(l) => world.conditioner_mut().heal(LocalityId(*l as u16)),
+                None => world.conditioner_mut().heal_all(),
+            }
+            None
+        }
+        FaultAction::LinkFault {
+            loss,
+            duplicate,
+            jitter_ms,
+            for_ms,
+        } => {
+            world
+                .conditioner_mut()
+                .set_faults(*loss, *duplicate, *jitter_ms);
+            for_ms.map(|after| (after, FaultAction::ClearLinkFault))
+        }
+        FaultAction::ClearLinkFault => {
+            world.conditioner_mut().clear_faults();
+            None
+        }
+        FaultAction::OriginBrownout {
+            website,
+            extra_ms,
+            for_ms,
+        } => {
+            dial.brownout(website.map(|w| w as u16), *extra_ms);
+            for_ms.map(|after| (after, FaultAction::OriginRestore))
+        }
+        FaultAction::OriginRestore => {
+            dial.restore();
+            None
+        }
+        other => unreachable!("peer-targeted action reached env dispatch: {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_dial_scopes_brownouts_by_website() {
+        let dial = OriginDial::default();
+        assert_eq!(dial.extra_ms(WebsiteId(0)), 0);
+        dial.brownout(Some(2), 400);
+        assert_eq!(dial.extra_ms(WebsiteId(2)), 400);
+        assert_eq!(dial.extra_ms(WebsiteId(3)), 0);
+        dial.brownout(None, 150);
+        assert_eq!(dial.extra_ms(WebsiteId(3)), 150);
+        dial.restore();
+        assert_eq!(dial.extra_ms(WebsiteId(2)), 0);
+    }
+}

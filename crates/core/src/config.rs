@@ -18,6 +18,9 @@ pub struct SimParams {
     pub horizon_ms: u64,
     /// Mean peer uptime `m` (Table 1: 60 min).
     pub mean_uptime_ms: u64,
+    /// Fraction of sessions ending in a graceful leave (handover) rather
+    /// than a silent fail. The paper's model is fail-only (0.0).
+    pub leave_probability: f64,
     /// Mean gap between queries at an active peer (Table 1: 6 min).
     pub query_period_ms: u64,
     /// Gossip and keepalive period (Table 1: 1 h).
@@ -57,6 +60,7 @@ impl SimParams {
             population: p,
             horizon_ms: 24 * 3_600_000,
             mean_uptime_ms: 60 * 60_000,
+            leave_probability: 0.0,
             query_period_ms: 6 * 60_000,
             gossip_period_ms: 3_600_000,
             push_threshold: 0.5,
@@ -95,6 +99,7 @@ impl SimParams {
             target_population: self.population,
             mean_uptime_ms: self.mean_uptime_ms,
             horizon_ms: self.horizon_ms,
+            leave_probability: self.leave_probability,
         }
     }
 

@@ -10,24 +10,32 @@ use chord::{Chord, NodeRef};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simnet::{ClassCountSink, LocalityId, NodeId, Point, Time, Topology, TraceSink, World};
-use workload::{generate_sessions, Catalog, WebsiteId};
+use workload::{generate_sessions, sample_exp, Catalog, WebsiteId};
 
 use crate::bootstrap::{Bootstrap, SharedBootstrap};
+use crate::chaos_driver::{self, OriginDial};
 use crate::config::SimParams;
 use crate::dring::DirPosition;
 use crate::peer::{FlowerPeer, FlowerReport, PeerCtx};
 
 /// Engine-level control events scheduled into the simulation.
 pub enum Control {
-    /// A fresh peer arrives (churn), interested in `website`, failing after
-    /// `lifetime_ms`.
+    /// A fresh peer arrives (churn), interested in `website`. When its
+    /// `lifetime_ms` expire it fails silently — or leaves gracefully if
+    /// `graceful` (set per session from `SimParams::leave_probability`).
     Spawn {
         website: WebsiteId,
         lifetime_ms: u64,
+        graceful: bool,
     },
     /// The session of `node` expires: silent failure (§6.1 — peers never
     /// leave gracefully in the headline runs).
     Fail(NodeId),
+    /// The session of `node` expires through the graceful-leave path: its
+    /// hand-over (§5.2.2) runs before removal.
+    Leave(NodeId),
+    /// A scheduled fault from a [`chaos::Scenario`] fires now.
+    Chaos(chaos::FaultAction),
     /// Periodic gauge-sampling tick; armed by [`FlowerSim::enable_gauges`]
     /// and self-rescheduling.
     Sample,
@@ -157,6 +165,7 @@ pub struct FlowerSim {
     world: World<FlowerPeer, Control>,
     /// Per-website origin server coordinates.
     origins: Vec<Point>,
+    origin_dial: Rc<OriginDial>,
     engine_rng: StdRng,
     gauges: Option<GaugeState>,
 }
@@ -186,6 +195,7 @@ impl FlowerSim {
             bootstrap,
             world,
             origins,
+            origin_dial: OriginDial::shared(),
             engine_rng,
             gauges: None,
         };
@@ -243,11 +253,15 @@ impl FlowerSim {
         let sessions = generate_sessions(&churn, initial, &mut self.engine_rng);
         for (i, s) in sessions.iter().enumerate() {
             if i < initial {
-                // Already spawned; only their failure is scheduled.
-                self.world.schedule_control(
-                    Time::from_millis(s.departure_ms()),
-                    Control::Fail(NodeId::from_index(i)),
-                );
+                // Already spawned; only their departure is scheduled.
+                let id = NodeId::from_index(i);
+                let end = if s.graceful {
+                    Control::Leave(id)
+                } else {
+                    Control::Fail(id)
+                };
+                self.world
+                    .schedule_control(Time::from_millis(s.departure_ms()), end);
             } else {
                 let website = self.catalog.assign_interest(&mut self.engine_rng);
                 self.world.schedule_control(
@@ -255,6 +269,7 @@ impl FlowerSim {
                     Control::Spawn {
                         website,
                         lifetime_ms: s.lifetime_ms,
+                        graceful: s.graceful,
                     },
                 );
             }
@@ -270,6 +285,19 @@ impl FlowerSim {
             bootstrap: Rc::clone(&self.bootstrap),
             website,
             origin_latency_ms,
+            origin_dial: Rc::clone(&self.origin_dial),
+        }
+    }
+
+    /// Schedule every fault of `scenario` into the run. Faults execute in
+    /// the engine's control handler at their `at_ms`; auto-heal / revert
+    /// tails (`heal-after`, `for`) are scheduled when the fault fires.
+    /// Call before `run`/`run_until`; applying the same scenario to the
+    /// same seed reproduces the run byte for byte.
+    pub fn apply_scenario(&mut self, scenario: &chaos::Scenario) {
+        for f in scenario.iter() {
+            self.world
+                .schedule_control(Time::from_millis(f.at_ms), Control::Chaos(f.action.clone()));
         }
     }
 
@@ -330,6 +358,7 @@ impl FlowerSim {
         let params = Rc::clone(&self.params);
         let bootstrap = Rc::clone(&self.bootstrap);
         let origins = self.origins.clone();
+        let dial = Rc::clone(&self.origin_dial);
         // engine_rng is used inside the control handler: split it out.
         let mut rng = self.engine_rng.clone();
         let mut gauges = self.gauges.take();
@@ -337,6 +366,7 @@ impl FlowerSim {
             Control::Spawn {
                 website,
                 lifetime_ms,
+                graceful,
             } => {
                 let at = world.topology().sample_point(&mut rng);
                 let origin = origins[website.0 as usize];
@@ -347,15 +377,30 @@ impl FlowerSim {
                     bootstrap: Rc::clone(&bootstrap),
                     website,
                     origin_latency_ms,
+                    origin_dial: Rc::clone(&dial),
                 };
                 let id = world.spawn(at, |me, locality| FlowerPeer::new_client(pcx, me, locality));
-                let fail_at = world.now() + lifetime_ms;
-                world.schedule_control(fail_at, Control::Fail(id));
+                let end_at = world.now() + lifetime_ms;
+                let end = if graceful {
+                    Control::Leave(id)
+                } else {
+                    Control::Fail(id)
+                };
+                world.schedule_control(end_at, end);
             }
             Control::Fail(id) => {
                 world.fail(id);
                 // The rendezvous service health-checks its entries.
                 bootstrap.borrow_mut().remove(id);
+            }
+            Control::Leave(id) => {
+                world.leave(id);
+                bootstrap.borrow_mut().remove(id);
+            }
+            Control::Chaos(action) => {
+                apply_flower_chaos(
+                    world, action, &mut rng, &bootstrap, &catalog, &params, &dial,
+                );
             }
             Control::Sample => {
                 if let Some(g) = gauges.as_mut() {
@@ -524,6 +569,83 @@ fn sample_flower_gauges(g: &mut GaugeState, world: &World<FlowerPeer, Control>) 
     };
     g.record("petal_size_mean", at, mean);
     g.sample_message_rates(at);
+}
+
+/// Execute one scheduled fault against a Flower-CDN world. Victim
+/// selection draws from the engine RNG; environment faults (partitions,
+/// link faults, origin brownouts) go through [`chaos_driver`], which hands
+/// back the auto-heal tail to schedule.
+fn apply_flower_chaos(
+    world: &mut World<FlowerPeer, Control>,
+    action: chaos::FaultAction,
+    rng: &mut StdRng,
+    bootstrap: &SharedBootstrap,
+    catalog: &Catalog,
+    params: &SimParams,
+    dial: &OriginDial,
+) {
+    use chaos::FaultAction as FA;
+    match action {
+        FA::KillDirectories { website, count } => {
+            let victims = chaos_driver::sample_nodes(
+                world,
+                count.map_or(usize::MAX, |c| c as usize),
+                None,
+                rng,
+                |_, p| {
+                    p.directory_position()
+                        .is_some_and(|pos| website.is_none_or(|w| u32::from(pos.website.0) == w))
+                },
+            );
+            for id in victims {
+                world.fail(id);
+                bootstrap.borrow_mut().remove(id);
+            }
+        }
+        FA::KillRandom { count, locality } => {
+            let loc = locality.map(|l| LocalityId(l as u16));
+            let victims = chaos_driver::sample_nodes(world, count as usize, loc, rng, |_, _| true);
+            for id in victims {
+                world.fail(id);
+                bootstrap.borrow_mut().remove(id);
+            }
+        }
+        FA::LeaveWave { count } => {
+            let leavers = chaos_driver::sample_nodes(world, count as usize, None, rng, |_, _| true);
+            for id in leavers {
+                world.leave(id);
+                bootstrap.borrow_mut().remove(id);
+            }
+        }
+        FA::JoinWave {
+            count,
+            website,
+            lifetime_ms,
+        } => {
+            // A flash crowd: `count` fresh arrivals right now, drawn to one
+            // website if set. Lifetimes follow the churn law unless pinned.
+            for _ in 0..count {
+                let ws = website
+                    .map(|w| WebsiteId(w as u16))
+                    .unwrap_or_else(|| catalog.assign_interest(rng));
+                let lifetime = lifetime_ms
+                    .unwrap_or_else(|| sample_exp(rng, params.mean_uptime_ms as f64).ceil() as u64);
+                world.schedule_control(
+                    world.now(),
+                    Control::Spawn {
+                        website: ws,
+                        lifetime_ms: lifetime,
+                        graceful: false,
+                    },
+                );
+            }
+        }
+        env => {
+            if let Some((after, follow_up)) = chaos_driver::apply_env_action(world, dial, &env) {
+                world.schedule_control(world.now() + after, Control::Chaos(follow_up));
+            }
+        }
+    }
 }
 
 #[cfg(test)]

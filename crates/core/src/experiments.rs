@@ -47,6 +47,9 @@ pub struct Instrumentation {
     /// Sample gauge series (population, D-ring size, petal sizes, message
     /// rates) with this period, landing in [`RunResult::gauges`].
     pub gauge_period_ms: Option<u64>,
+    /// A fault schedule (`--scenario FILE`) applied identically to both
+    /// systems before the run starts.
+    pub scenario: Option<chaos::Scenario>,
 }
 
 impl Instrumentation {
@@ -58,6 +61,9 @@ impl Instrumentation {
         if let Some(period) = self.gauge_period_ms {
             sim.enable_gauges(period);
         }
+        if let Some(sc) = &self.scenario {
+            sim.apply_scenario(sc);
+        }
     }
 
     fn apply_squirrel(&self, sim: &mut SquirrelSim) {
@@ -68,6 +74,9 @@ impl Instrumentation {
         }
         if let Some(period) = self.gauge_period_ms {
             sim.enable_gauges(period);
+        }
+        if let Some(sc) = &self.scenario {
+            sim.apply_scenario(sc);
         }
     }
 }

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod bootstrap;
+pub mod chaos_driver;
 pub mod config;
 pub mod directory;
 pub mod dirinfo;
@@ -54,6 +55,8 @@ pub mod store;
 pub mod tags;
 
 pub use bootstrap::{Bootstrap, SharedBootstrap};
+pub use chaos::{FaultAction, Scenario};
+pub use chaos_driver::OriginDial;
 pub use config::SimParams;
 pub use directory::{DirectoryIndex, DirectorySnapshot};
 pub use dirinfo::DirInfo;

@@ -273,7 +273,17 @@ impl FlowerPeer {
             return; // give up; the next keepalive cycle may retry
         }
         let Some(b) = self.pick_bootstrap(ctx) else {
+            // The rendezvous registry knows of no directory at all: the
+            // D-ring has been wiped out, so there is nobody to route the
+            // claim to and nobody to grant it. §5.2.2's claim degenerates
+            // to the first-arrival rule of §3.1: re-found the couple's
+            // directory ourselves on a fresh ring. We register with the
+            // rendezvous synchronously (inside `become_directory`), so
+            // every later claimer bootstraps through us and the D-ring
+            // regrows from this seed instead of fragmenting.
             self.claim = None;
+            let me_ref = NodeRef::new(self.me, position.chord_id());
+            self.become_directory(ctx, position, me_ref, None, true);
             return;
         };
         ctx.report(FlowerReport::Event(ProtocolEvent::ClaimStarted));
@@ -353,7 +363,7 @@ impl FlowerPeer {
             ctx.send(claimer, FlowerMsg::ClaimDenied { position, holder });
             return;
         }
-        if !d.chord.owns_strict(key) {
+        if !d.chord.owns_strict(key) && !d.chord.is_sole_member() {
             // We are not the ring owner of the claimed position (the claim
             // was misrouted, e.g. to a same-couple neighbour instance).
             // Arbitrating here would mint a duplicate holder while the
@@ -608,7 +618,8 @@ impl FlowerPeer {
         };
         // Our own store is petal content too.
         index.record_objects(self.me, self.store.iter(), ctx.now().as_millis());
-        let (chord, actions) = if seed.node == self.me {
+        let standalone = seed.node == self.me;
+        let (chord, actions) = if standalone {
             // Degenerate case: we were told to seed from ourselves (we are
             // the only ring member we know) — create a fresh ring position.
             Chord::create(me_ref, self.pcx.params.chord.clone())
@@ -637,6 +648,19 @@ impl FlowerPeer {
             f
         });
         self.apply_chord_actions(ctx, actions);
+        if standalone {
+            // A fresh ring completes its "join" instantly, so the
+            // JoinComplete bookkeeping never fires — do it here. The
+            // synchronous rendezvous registration is what lets the next
+            // claimer join *our* ring instead of founding another.
+            self.pcx.bootstrap.borrow_mut().add(me_ref);
+            ctx.report(FlowerReport::BecameDirectory {
+                position,
+                replacement,
+            });
+            let delay = 60_000 + ctx.rng.gen_range(0..60_000);
+            ctx.set_timer(delay, FlowerTimer::PositionCheck);
+        }
         let sweep = self.pcx.params.rpc_timeout_ms * 20;
         ctx.set_timer(sweep, FlowerTimer::DirSweep);
     }

@@ -37,6 +37,8 @@ pub struct PeerCtx {
     pub website: WebsiteId,
     /// One-way latency to this website's origin server, ms.
     pub origin_latency_ms: u64,
+    /// Shared origin health state: chaos brownouts add latency here.
+    pub origin_dial: Rc<crate::chaos_driver::OriginDial>,
 }
 
 /// Events the engine collects (via `simnet` reports).
@@ -136,6 +138,9 @@ pub struct PendingQuery {
     pub asked_dir: bool,
     /// When the current fetch (or origin round trip) started.
     pub fetch_sent_at: Time,
+    /// The bootstrap the in-flight route attempt went through; excluded
+    /// from the next attempt if this one times out (partition backoff).
+    pub last_bootstrap: Option<NodeId>,
 }
 
 /// Phase of the pending query.
@@ -457,6 +462,10 @@ impl FlowerPeer {
                 d.position.same_couple(key)
                     || d.position.chord_id() == key
                     || d.chord.owns_strict(key)
+                    // A re-founded ring's sole member arbitrates every key
+                    // until someone joins it (it has no predecessor, so
+                    // `owns_strict` can never be true for it).
+                    || d.chord.is_sole_member()
             }
             _ => false,
         };

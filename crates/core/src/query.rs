@@ -62,6 +62,7 @@ impl FlowerPeer {
             excluded: vec![self.me],
             asked_dir: false,
             fetch_sent_at: ctx.now(),
+            last_bootstrap: None,
         });
         match &self.role {
             Role::Client => self.route_pending_over_dring(ctx),
@@ -88,6 +89,7 @@ impl FlowerPeer {
             excluded: vec![self.me],
             asked_dir: false,
             fetch_sent_at: ctx.now(),
+            last_bootstrap: None,
         });
         self.route_pending_over_dring(ctx);
     }
@@ -98,10 +100,13 @@ impl FlowerPeer {
             return;
         };
         p.via = ResolvedVia::DhtRoute;
-        let (qid, object) = (p.qid, p.object);
+        let (qid, object, attempt) = (p.qid, p.object, p.route_attempts);
         let key = DirPosition::base(self.pcx.website, self.locality).chord_id();
         match self.pick_bootstrap(ctx) {
             Some(b) => {
+                if let Some(p) = &mut self.pending {
+                    p.last_bootstrap = Some(b.node);
+                }
                 let payload = RoutePayload::ClientRequest {
                     client: self.me,
                     website: self.pcx.website,
@@ -113,7 +118,12 @@ impl FlowerPeer {
                     vec![("qid", qid.raw().into()), ("key", key.0.into())]
                 });
                 ctx.send(b.node, FlowerMsg::DRingRoute { key, payload });
-                let deadline = self.pcx.params.rpc_timeout_ms * 8;
+                // Linear backoff per retry: a partitioned or overloaded
+                // D-ring gets progressively more slack before the query
+                // degrades to the origin, while the whole ladder
+                // (8+16+24 timeouts) stays well under the liveness
+                // checker's 120 s query deadline.
+                let deadline = self.pcx.params.rpc_timeout_ms * 8 * u64::from(attempt + 1);
                 ctx.set_timer(deadline, FlowerTimer::RouteDeadline { qid });
             }
             None => {
@@ -227,7 +237,9 @@ impl FlowerPeer {
         p.fetch_sent_at = ctx.now();
         let qid = p.qid;
         ctx.trace(tags::ORIGIN_FETCH, || vec![("qid", qid.raw().into())]);
-        let rtt = 2 * self.pcx.origin_latency_ms.max(1);
+        // A chaos brownout adds one-way latency to the origin round trip.
+        let one_way = self.pcx.origin_latency_ms + self.pcx.origin_dial.extra_ms(self.pcx.website);
+        let rtt = 2 * one_way.max(1);
         ctx.set_timer(rtt, FlowerTimer::OriginDone { qid });
     }
 
@@ -321,11 +333,23 @@ impl FlowerPeer {
             return;
         }
         p.route_attempts += 1;
-        if p.route_attempts < 3 {
+        let stale = p.last_bootstrap.take();
+        self.exclude_bootstrap(stale);
+        if self.pending.as_ref().is_some_and(|p| p.route_attempts < 3) {
             self.route_pending_over_dring(ctx);
         } else {
             ctx.report(FlowerReport::Event(ProtocolEvent::RouteFailure));
             self.start_origin_fetch(ctx, ResolvedVia::DirectOrigin);
+        }
+    }
+
+    /// Remember a bootstrap that failed to route for us so the next retry
+    /// tries a different entry point (cleared when the registry runs dry).
+    fn exclude_bootstrap(&mut self, b: Option<NodeId>) {
+        if let Some(b) = b {
+            if !self.boot_exclude.contains(&b) {
+                self.boot_exclude.push(b);
+            }
         }
     }
 
@@ -346,7 +370,9 @@ impl FlowerPeer {
             return;
         }
         p.route_attempts += 1;
-        if p.route_attempts < 3 {
+        let stale = p.last_bootstrap.take();
+        self.exclude_bootstrap(stale);
+        if self.pending.as_ref().is_some_and(|p| p.route_attempts < 3) {
             self.route_pending_over_dring(ctx);
         } else {
             ctx.report(FlowerReport::Event(ProtocolEvent::RouteFailure));
@@ -457,7 +483,7 @@ impl FlowerPeer {
             self.pending = None;
             return;
         };
-        let lat = self.pcx.origin_latency_ms;
+        let lat = self.pcx.origin_latency_ms + self.pcx.origin_dial.extra_ms(self.pcx.website);
         self.complete_query(ctx, object, Provider::OriginServer, lat);
     }
 

@@ -16,7 +16,7 @@
 //! caching (§2).
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use bloom::hash::hash_u64;
@@ -28,6 +28,7 @@ use simnet::{ClassCountSink, Ctx, Node, NodeId, Point, Time, Topology, TraceSink
 use workload::{generate_sessions, sample_exp, Catalog, ObjectId, WebsiteId};
 
 use crate::bootstrap::{Bootstrap, SharedBootstrap};
+use crate::chaos_driver::{self, OriginDial};
 use crate::config::SimParams;
 use crate::engine::{GaugeState, RunResult};
 use crate::qid::QueryId;
@@ -101,6 +102,8 @@ pub struct SqCtx {
     pub bootstrap: SharedBootstrap,
     pub website: WebsiteId,
     pub origin_latency_ms: u64,
+    /// Shared origin health state: chaos brownouts add latency here.
+    pub origin_dial: Rc<OriginDial>,
     pub mode: SquirrelMode,
 }
 
@@ -432,7 +435,9 @@ impl SquirrelPeer {
         p.phase = SqPhase::Origin { home };
         p.fetch_sent_at = ctx.now();
         ctx.trace(tags::ORIGIN_FETCH, || vec![("qid", qid.raw().into())]);
-        let rtt = 2 * self.pcx.origin_latency_ms.max(1);
+        // A chaos brownout adds one-way latency to the origin round trip.
+        let one_way = self.pcx.origin_latency_ms + self.pcx.origin_dial.extra_ms(self.pcx.website);
+        let rtt = 2 * one_way.max(1);
         ctx.set_timer(rtt, SqTimer::OriginDone { qid });
     }
 
@@ -528,7 +533,7 @@ impl SquirrelPeer {
         let SqPhase::Origin { home } = p.phase else {
             return;
         };
-        let lat = self.pcx.origin_latency_ms;
+        let lat = self.pcx.origin_latency_ms + self.pcx.origin_dial.extra_ms(self.pcx.website);
         if self.pcx.mode == SquirrelMode::HomeStore {
             if let Some(home) = home {
                 if home != self.me {
@@ -738,8 +743,13 @@ pub enum SqControl {
     Spawn {
         website: WebsiteId,
         lifetime_ms: u64,
+        graceful: bool,
     },
     Fail(NodeId),
+    /// Graceful departure: the peer's `on_leave` runs before removal.
+    Leave(NodeId),
+    /// A scheduled fault from a [`chaos::Scenario`] fires now.
+    Chaos(chaos::FaultAction),
     /// Periodic gauge-sampling tick; armed by
     /// [`SquirrelSim::enable_gauges`] and self-rescheduling.
     Sample,
@@ -754,6 +764,7 @@ pub struct SquirrelSim {
     bootstrap: SharedBootstrap,
     world: World<SquirrelPeer, SqControl>,
     origins: Vec<Point>,
+    origin_dial: Rc<OriginDial>,
     engine_rng: StdRng,
     mode: SquirrelMode,
     gauges: Option<GaugeState>,
@@ -781,6 +792,7 @@ impl SquirrelSim {
             bootstrap,
             world,
             origins,
+            origin_dial: OriginDial::shared(),
             engine_rng,
             mode,
             gauges: None,
@@ -835,10 +847,14 @@ impl SquirrelSim {
         let sessions = generate_sessions(&churn, initial, &mut self.engine_rng);
         for (i, s) in sessions.iter().enumerate() {
             if i < initial {
-                self.world.schedule_control(
-                    Time::from_millis(s.departure_ms()),
-                    SqControl::Fail(NodeId::from_index(i)),
-                );
+                let id = NodeId::from_index(i);
+                let end = if s.graceful {
+                    SqControl::Leave(id)
+                } else {
+                    SqControl::Fail(id)
+                };
+                self.world
+                    .schedule_control(Time::from_millis(s.departure_ms()), end);
             } else {
                 let website = self.catalog.assign_interest(&mut self.engine_rng);
                 self.world.schedule_control(
@@ -846,6 +862,7 @@ impl SquirrelSim {
                     SqControl::Spawn {
                         website,
                         lifetime_ms: s.lifetime_ms,
+                        graceful: s.graceful,
                     },
                 );
             }
@@ -861,7 +878,20 @@ impl SquirrelSim {
             bootstrap: Rc::clone(&self.bootstrap),
             website,
             origin_latency_ms,
+            origin_dial: Rc::clone(&self.origin_dial),
             mode: self.mode,
+        }
+    }
+
+    /// Schedule every fault of `scenario` into the run, mirroring
+    /// [`crate::engine::FlowerSim::apply_scenario`] so both systems face
+    /// the same chaos timeline.
+    pub fn apply_scenario(&mut self, scenario: &chaos::Scenario) {
+        for f in scenario.iter() {
+            self.world.schedule_control(
+                Time::from_millis(f.at_ms),
+                SqControl::Chaos(f.action.clone()),
+            );
         }
     }
 
@@ -902,6 +932,7 @@ impl SquirrelSim {
         let params = Rc::clone(&self.params);
         let bootstrap = Rc::clone(&self.bootstrap);
         let origins = self.origins.clone();
+        let dial = Rc::clone(&self.origin_dial);
         let mode = self.mode;
         let mut rng = self.engine_rng.clone();
         let mut gauges = self.gauges.take();
@@ -909,6 +940,7 @@ impl SquirrelSim {
             SqControl::Spawn {
                 website,
                 lifetime_ms,
+                graceful,
             } => {
                 let at = world.topology().sample_point(&mut rng);
                 let origin = origins[website.0 as usize];
@@ -919,6 +951,7 @@ impl SquirrelSim {
                     bootstrap: Rc::clone(&bootstrap),
                     website,
                     origin_latency_ms,
+                    origin_dial: Rc::clone(&dial),
                     mode,
                 };
                 let seed = bootstrap.borrow().pick(&mut rng, &[]);
@@ -926,12 +959,26 @@ impl SquirrelSim {
                     return; // overlay empty: the arrival is lost
                 };
                 let id = world.spawn(at, |me, _loc| SquirrelPeer::arriving(pcx, me, seed));
-                let fail_at = world.now() + lifetime_ms;
-                world.schedule_control(fail_at, SqControl::Fail(id));
+                let end_at = world.now() + lifetime_ms;
+                let end = if graceful {
+                    SqControl::Leave(id)
+                } else {
+                    SqControl::Fail(id)
+                };
+                world.schedule_control(end_at, end);
             }
             SqControl::Fail(id) => {
                 world.fail(id);
                 bootstrap.borrow_mut().remove(id);
+            }
+            SqControl::Leave(id) => {
+                world.leave(id);
+                bootstrap.borrow_mut().remove(id);
+            }
+            SqControl::Chaos(action) => {
+                apply_squirrel_chaos(
+                    world, action, &mut rng, &bootstrap, &catalog, &params, &dial,
+                );
             }
             SqControl::Sample => {
                 if let Some(g) = gauges.as_mut() {
@@ -975,12 +1022,7 @@ impl SquirrelSim {
     /// The live node currently owning `key` per ring geometry (tests):
     /// smallest clockwise distance from the key.
     pub fn ring_owner_of(&self, key: ChordId) -> Option<NodeId> {
-        self.world
-            .live_nodes()
-            .filter(|(_, n)| n.chord.is_joined())
-            .map(|(id, n)| (id, key.distance_to(n.chord.me().id)))
-            .min_by_key(|&(_, d)| d)
-            .map(|(id, _)| id)
+        live_ring_owner(&self.world, key)
     }
 
     /// Ring-health probe for diagnostics: fraction of live joined nodes
@@ -1076,6 +1118,105 @@ impl SquirrelSim {
             gauges,
         }
     }
+}
+
+/// Execute one scheduled fault against a Squirrel world.
+///
+/// Squirrel has no designated directory peers, so `kill-directories`
+/// translates to its closest analog: the **home nodes** (ring owners) of
+/// the website's hottest objects — killing them destroys the same
+/// "who-holds-what" knowledge a Flower directory kill destroys. The ring
+/// is scanned in popularity-rank order until `count` distinct live owners
+/// are found (default 8 per website).
+fn apply_squirrel_chaos(
+    world: &mut World<SquirrelPeer, SqControl>,
+    action: chaos::FaultAction,
+    rng: &mut StdRng,
+    bootstrap: &SharedBootstrap,
+    catalog: &Catalog,
+    params: &SimParams,
+    dial: &OriginDial,
+) {
+    use chaos::FaultAction as FA;
+    match action {
+        FA::KillDirectories { website, count } => {
+            let per_site = count.map_or(8, |c| c as usize);
+            let websites: Vec<u16> = match website {
+                Some(w) => vec![w as u16],
+                None => (0..catalog.config().active_websites).collect(),
+            };
+            let mut victims: BTreeSet<NodeId> = BTreeSet::new();
+            for ws in websites {
+                let mut owners: BTreeSet<NodeId> = BTreeSet::new();
+                for rank in 0..catalog.objects_per_site() {
+                    if owners.len() >= per_site {
+                        break;
+                    }
+                    let object = ObjectId::from_u64((u64::from(ws) << 32) | u64::from(rank));
+                    if let Some(owner) = live_ring_owner(world, object_key(object)) {
+                        owners.insert(owner);
+                    }
+                }
+                victims.extend(owners);
+            }
+            for id in victims {
+                world.fail(id);
+                bootstrap.borrow_mut().remove(id);
+            }
+        }
+        FA::KillRandom { count, locality } => {
+            let loc = locality.map(|l| simnet::LocalityId(l as u16));
+            let victims = chaos_driver::sample_nodes(world, count as usize, loc, rng, |_, _| true);
+            for id in victims {
+                world.fail(id);
+                bootstrap.borrow_mut().remove(id);
+            }
+        }
+        FA::LeaveWave { count } => {
+            let leavers = chaos_driver::sample_nodes(world, count as usize, None, rng, |_, _| true);
+            for id in leavers {
+                world.leave(id);
+                bootstrap.borrow_mut().remove(id);
+            }
+        }
+        FA::JoinWave {
+            count,
+            website,
+            lifetime_ms,
+        } => {
+            for _ in 0..count {
+                let ws = website
+                    .map(|w| WebsiteId(w as u16))
+                    .unwrap_or_else(|| catalog.assign_interest(rng));
+                let lifetime = lifetime_ms
+                    .unwrap_or_else(|| sample_exp(rng, params.mean_uptime_ms as f64).ceil() as u64);
+                world.schedule_control(
+                    world.now(),
+                    SqControl::Spawn {
+                        website: ws,
+                        lifetime_ms: lifetime,
+                        graceful: false,
+                    },
+                );
+            }
+        }
+        env => {
+            if let Some((after, follow_up)) = chaos_driver::apply_env_action(world, dial, &env) {
+                world.schedule_control(world.now() + after, SqControl::Chaos(follow_up));
+            }
+        }
+    }
+}
+
+/// The live joined node owning `key` per ring geometry (free-function twin
+/// of [`SquirrelSim::ring_owner_of`], usable inside the control handler).
+fn live_ring_owner(world: &World<SquirrelPeer, SqControl>, key: ChordId) -> Option<NodeId> {
+    world
+        .live_nodes()
+        .filter(|(_, n)| n.chord.is_joined())
+        .map(|(id, n)| (id, key.distance_to(n.chord.me().id)))
+        .min_by_key(|&(_, d)| d)
+        .map(|(id, _)| id)
 }
 
 /// One gauge sample of a Squirrel world: population, joined-ring size and

@@ -83,3 +83,24 @@ pub const PROMOTE: &str = "promote";
 
 /// Squirrel: the home node answered a query (fields: qid, hit).
 pub const SQ_HOME_ANSWER: &str = "sq_home_answer";
+
+#[cfg(test)]
+mod tests {
+    /// The `chaos` crate sits below this one and mirrors the tag names it
+    /// consumes ([`chaos::tags`]). Keep the two sets identical.
+    #[test]
+    fn chaos_tag_mirror_stays_in_sync() {
+        assert_eq!(chaos::tags::BECAME_DIRECTORY, super::BECAME_DIRECTORY);
+        assert_eq!(chaos::tags::DEMOTED, super::DEMOTED);
+        assert_eq!(chaos::tags::REDIRECT, super::REDIRECT);
+        assert_eq!(chaos::tags::QUERY_COMPLETE, super::QUERY_COMPLETE);
+        assert_eq!(chaos::tags::SQ_HOME_ANSWER, super::SQ_HOME_ANSWER);
+    }
+
+    /// `chaos::tags::PROVIDER_ORIGIN` must match the provider string
+    /// `complete_query` emits for origin-served queries.
+    #[test]
+    fn origin_provider_string_matches() {
+        assert_eq!(chaos::tags::PROVIDER_ORIGIN, "origin");
+    }
+}

@@ -108,14 +108,28 @@ impl<W: Write> TraceSink for JsonlTraceWriter<W> {
                     latency_ms
                 );
             }
-            TraceEvent::MsgDeliver { src, dst, class }
-            | TraceEvent::MsgDrop { src, dst, class } => {
+            TraceEvent::MsgDeliver { src, dst, class } => {
                 let _ = write!(
                     buf,
                     ",\"src\":{},\"dst\":{},\"class\":\"{}\"",
                     src.raw(),
                     dst.raw(),
                     escape(class)
+                );
+            }
+            TraceEvent::MsgDrop {
+                src,
+                dst,
+                class,
+                reason,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"src\":{},\"dst\":{},\"class\":\"{}\",\"reason\":\"{}\"",
+                    src.raw(),
+                    dst.raw(),
+                    escape(class),
+                    reason.as_str()
                 );
             }
             TraceEvent::TimerSet {
@@ -373,6 +387,7 @@ mod tests {
                     src: n(4),
                     dst: n(5),
                     class: "keepalive",
+                    reason: simnet::DropReason::DeadDestination,
                 },
             );
             w.flush();
@@ -383,6 +398,7 @@ mod tests {
         assert_eq!(lines[0].kind(), "fail");
         assert_eq!(lines[1].kind(), "drop");
         assert_eq!(lines[1].str("class"), Some("keepalive"));
+        assert_eq!(lines[1].str("reason"), Some("dead_dst"));
         let _ = std::fs::remove_file(&path);
     }
 }

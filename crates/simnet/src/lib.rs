@@ -19,15 +19,17 @@
 //! to the world only through the [`Ctx`] handed to their callbacks, which
 //! makes every protocol unit-testable without a network.
 
+pub mod conditioner;
 pub mod time;
 pub mod topology;
 pub mod trace;
 pub mod world;
 
+pub use conditioner::{LinkConditioner, LinkVerdict};
 pub use time::Time;
 pub use topology::{LatencyModel, LocalityId, Point, Topology, TopologyConfig};
 pub use trace::{
-    ClassCountSink, FieldValue, Fields, LivenessChecker, TraceEvent, TraceSink, VecSink,
+    ClassCountSink, DropReason, FieldValue, Fields, LivenessChecker, TraceEvent, TraceSink, VecSink,
 };
 pub use world::{Ctx, Node, NodeId, World, WorldStats};
 

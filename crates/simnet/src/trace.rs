@@ -93,6 +93,25 @@ impl fmt::Display for FieldValue {
 /// Named fields of a `Custom` event, in emission order.
 pub type Fields = Vec<(&'static str, FieldValue)>;
 
+/// Why a message was dropped (see [`TraceEvent::MsgDrop`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The destination was dead at delivery time (churn).
+    DeadDestination,
+    /// The link conditioner lost it (random loss or a partition cut).
+    Conditioner,
+}
+
+impl DropReason {
+    /// Stable lowercase tag (used by trace writers).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropReason::DeadDestination => "dead_dst",
+            DropReason::Conditioner => "link",
+        }
+    }
+}
+
 /// One scheduler or protocol event, stamped with virtual time by the sink
 /// callback.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,11 +138,13 @@ pub enum TraceEvent {
         dst: NodeId,
         class: &'static str,
     },
-    /// A queued message found its destination dead and was dropped.
+    /// A message was dropped: destination dead at delivery time, or lost
+    /// on the link by the conditioner (see `reason`).
     MsgDrop {
         src: NodeId,
         dst: NodeId,
         class: &'static str,
+        reason: DropReason,
     },
     /// A timer was armed.
     TimerSet {
@@ -368,6 +389,7 @@ mod tests {
                 src: n,
                 dst: n,
                 class: "gossip",
+                reason: DropReason::DeadDestination,
             },
         );
         assert_eq!(counter.counts().get("gossip"), Some(&3));

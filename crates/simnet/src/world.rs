@@ -18,8 +18,9 @@ use std::fmt;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::conditioner::{LinkConditioner, LinkVerdict};
 use crate::topology::{LocalityId, Point, Topology};
-use crate::trace::{Fields, TraceEvent, TraceSink};
+use crate::trace::{DropReason, Fields, TraceEvent, TraceSink};
 use crate::Time;
 
 /// Dense identifier of a node in a [`World`]. Ids are never reused: a peer
@@ -195,7 +196,13 @@ pub struct WorldStats {
     /// Messages delivered to live nodes.
     pub delivered: u64,
     /// Messages dropped because the destination was dead at delivery time.
+    /// Link-conditioner losses are counted separately in `dropped_link`.
     pub dropped: u64,
+    /// Messages dropped by the [`LinkConditioner`] (random loss or a
+    /// partition cut) before they ever reached the queue.
+    pub dropped_link: u64,
+    /// Extra copies injected by link-conditioner duplication.
+    pub duplicated: u64,
     /// Timer events fired.
     pub timers: u64,
     /// Control events dispatched.
@@ -221,6 +228,7 @@ pub struct World<N: Node, C> {
     reports: Vec<(Time, NodeId, N::Report)>,
     stats: WorldStats,
     sinks: Vec<Box<dyn TraceSink>>,
+    conditioner: LinkConditioner,
 }
 
 impl<N: Node, C> World<N, C> {
@@ -236,7 +244,20 @@ impl<N: Node, C> World<N, C> {
             reports: Vec::new(),
             stats: WorldStats::default(),
             sinks: Vec::new(),
+            conditioner: LinkConditioner::new(seed),
         }
+    }
+
+    /// The per-link fault model (loss/duplication/jitter/partitions). Inert
+    /// until configured; see [`LinkConditioner`].
+    pub fn conditioner(&self) -> &LinkConditioner {
+        &self.conditioner
+    }
+
+    /// Mutable access to the link conditioner — fault-injection engines
+    /// flip its knobs mid-run.
+    pub fn conditioner_mut(&mut self) -> &mut LinkConditioner {
+        &mut self.conditioner
     }
 
     /// Attach a [`TraceSink`]: from now on every scheduler step emits a
@@ -412,6 +433,7 @@ impl<N: Node, C> World<N, C> {
                                 src: from,
                                 dst: to,
                                 class: N::msg_class(&msg),
+                                reason: DropReason::DeadDestination,
                             });
                         }
                     }
@@ -485,7 +507,40 @@ impl<N: Node, C> World<N, C> {
             });
         }
         for (to, msg) in sends {
-            let delay = self.topology.latency(id, to).max(1);
+            let mut delay = self.topology.latency(id, to).max(1);
+            let mut copies = 1u32;
+            if self.conditioner.is_active() {
+                let src_loc = self.topology.locality(id);
+                let dst_loc = self.topology.locality(to);
+                match self.conditioner.judge(src_loc, dst_loc) {
+                    LinkVerdict::Drop => {
+                        self.stats.dropped_link += 1;
+                        if tracing {
+                            self.emit(TraceEvent::MsgSend {
+                                src: id,
+                                dst: to,
+                                class: N::msg_class(&msg),
+                                latency_ms: delay,
+                            });
+                            self.emit(TraceEvent::MsgDrop {
+                                src: id,
+                                dst: to,
+                                class: N::msg_class(&msg),
+                                reason: DropReason::Conditioner,
+                            });
+                        }
+                        continue;
+                    }
+                    LinkVerdict::Deliver {
+                        copies: c,
+                        extra_delay_ms,
+                    } => {
+                        copies = c;
+                        delay += extra_delay_ms;
+                        self.stats.duplicated += u64::from(c.saturating_sub(1));
+                    }
+                }
+            }
             if tracing {
                 self.emit(TraceEvent::MsgSend {
                     src: id,
@@ -495,6 +550,18 @@ impl<N: Node, C> World<N, C> {
                 });
             }
             let at = self.now + delay;
+            for _ in 1..copies {
+                let seq = self.bump_seq();
+                self.queue.push(Reverse(QueuedEvent {
+                    at,
+                    seq,
+                    kind: EventKind::Deliver {
+                        to,
+                        from: id,
+                        msg: msg.clone(),
+                    },
+                }));
+            }
             let seq = self.bump_seq();
             self.queue.push(Reverse(QueuedEvent {
                 at,

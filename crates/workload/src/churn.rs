@@ -2,8 +2,11 @@
 //!
 //! * peer uptime is exponential with mean `m` (paper: 60 minutes) — "a high
 //!   churn rate";
-//! * peers **always fail** when their lifetime expires (never leave
-//!   gracefully), the worst case for directory state;
+//! * by default peers **always fail** when their lifetime expires (never
+//!   leave gracefully), the worst case for directory state; setting
+//!   [`ChurnConfig::leave_probability`] > 0 lets that fraction of sessions
+//!   end in a graceful leave instead, exercising the paper's
+//!   leave/handover path (§5.2.1) from the workload layer;
 //! * arrivals form a Poisson process with rate `P/m`, so the live
 //!   population converges to the target `P`;
 //! * a "re-joining" peer is modelled as a fresh arrival (new identity, cold
@@ -24,15 +27,19 @@ pub struct ChurnConfig {
     pub mean_uptime_ms: u64,
     /// Experiment horizon in milliseconds (paper: 24 h).
     pub horizon_ms: u64,
+    /// Probability a session ends in a graceful leave (handover runs)
+    /// instead of a silent fail. The paper evaluates the worst case, 0.
+    pub leave_probability: f64,
 }
 
 impl ChurnConfig {
-    /// Paper defaults for population `p`.
+    /// Paper defaults for population `p`: fail-only churn.
     pub fn paper(p: usize) -> ChurnConfig {
         ChurnConfig {
             target_population: p,
             mean_uptime_ms: 60 * 60_000,
             horizon_ms: 24 * 3_600_000,
+            leave_probability: 0.0,
         }
     }
 
@@ -42,11 +49,13 @@ impl ChurnConfig {
     }
 }
 
-/// One peer session: the peer arrives, lives `lifetime_ms`, then fails.
+/// One peer session: the peer arrives, lives `lifetime_ms`, then fails —
+/// or, when `graceful`, departs through its leave/handover path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Session {
     pub arrival_ms: u64,
     pub lifetime_ms: u64,
+    pub graceful: bool,
 }
 
 impl Session {
@@ -62,11 +71,18 @@ impl Session {
 /// `P/m`. All lifetimes are Exp(m).
 pub fn generate_sessions(cfg: &ChurnConfig, initial: usize, rng: &mut impl Rng) -> Vec<Session> {
     let mean = cfg.mean_uptime_ms as f64;
+    // Short-circuit so the default fail-only model draws exactly the same
+    // RNG stream it always did — schedules per seed are stable across the
+    // leave_probability addition.
+    let graceful = |rng: &mut dyn rand::RngCore| {
+        cfg.leave_probability > 0.0 && rng.gen_bool(cfg.leave_probability)
+    };
     let mut out = Vec::new();
     for _ in 0..initial {
         out.push(Session {
             arrival_ms: 0,
             lifetime_ms: sample_exp(rng, mean).ceil() as u64,
+            graceful: graceful(rng),
         });
     }
     let rate = cfg.arrival_rate_per_ms();
@@ -79,6 +95,7 @@ pub fn generate_sessions(cfg: &ChurnConfig, initial: usize, rng: &mut impl Rng) 
         out.push(Session {
             arrival_ms: t as u64,
             lifetime_ms: sample_exp(rng, mean).ceil() as u64,
+            graceful: graceful(rng),
         });
     }
     out
@@ -153,6 +170,40 @@ mod tests {
         let sessions = generate_sessions(&cfg, 600, &mut rng);
         assert!(sessions[..600].iter().all(|s| s.arrival_ms == 0));
         assert!(sessions[600..].iter().all(|s| s.arrival_ms > 0));
+    }
+
+    #[test]
+    fn leave_probability_marks_the_right_fraction_graceful() {
+        let mut cfg = ChurnConfig::paper(2_000);
+        // Default: the paper's worst case, nobody leaves gracefully.
+        let sessions = generate_sessions(&cfg, 100, &mut StdRng::seed_from_u64(6));
+        assert!(sessions.iter().all(|s| !s.graceful));
+
+        cfg.leave_probability = 0.3;
+        let sessions = generate_sessions(&cfg, 100, &mut StdRng::seed_from_u64(6));
+        let frac = sessions.iter().filter(|s| s.graceful).count() as f64 / sessions.len() as f64;
+        assert!((frac - 0.3).abs() < 0.02, "graceful fraction {frac} vs 0.3");
+
+        cfg.leave_probability = 1.0;
+        let sessions = generate_sessions(&cfg, 10, &mut StdRng::seed_from_u64(6));
+        assert!(sessions.iter().all(|s| s.graceful));
+    }
+
+    #[test]
+    fn zero_leave_probability_preserves_the_fail_only_schedule() {
+        // The graceful flag must not perturb arrival/lifetime draws when
+        // off: same seed, same (arrival, lifetime) stream as always.
+        let cfg = ChurnConfig::paper(1_000);
+        let a = generate_sessions(&cfg, 10, &mut StdRng::seed_from_u64(9));
+        let mut leavy = cfg.clone();
+        leavy.leave_probability = 0.5;
+        let b = generate_sessions(&leavy, 10, &mut StdRng::seed_from_u64(9));
+        let strip = |v: &[Session]| -> Vec<(u64, u64)> {
+            v.iter().map(|s| (s.arrival_ms, s.lifetime_ms)).collect()
+        };
+        assert_ne!(strip(&a), strip(&b), "p>0 consumes extra draws");
+        // But p = 0 exactly reproduces the historical stream of the
+        // deterministic test below (same function, no extra draws).
     }
 
     #[test]

@@ -1,6 +1,8 @@
-//! Churn storm: stress the maintenance protocols of §5 by driving the mean
-//! peer uptime down from hours to minutes, and watch what happens to the
-//! hit ratio, the directory-repair rate and the lookup latency.
+//! Churn storm: stress the maintenance protocols of §5 with *scripted*
+//! storm waves from the chaos scenario engine — each wave kills a slice of
+//! the population outright and replaces it with fresh joiners — and watch
+//! what happens to the hit ratio, the directory-repair rate and the lookup
+//! latency as the storms intensify.
 //!
 //! The paper's claim: "our generic approach is extremely robust in a highly
 //! dynamic environment" — the directory state is epidemically replicated
@@ -11,29 +13,63 @@
 //! cargo run --release --example churn_storm
 //! ```
 
-use flower_cdn::experiments::run_comparison;
-use flower_cdn::SimParams;
+use flower_cdn::experiments::{run_comparison_instrumented, Instrumentation};
+use flower_cdn::{FaultAction, Scenario, SimParams};
+
+/// Four storm waves in the second half of the run: each kills `frac` of
+/// the mean population at random, then a join wave of the same size
+/// arrives a minute later, keeping the population stationary — only the
+/// *turnover* varies between rows.
+fn storm(horizon: u64, population: usize, frac: f64) -> Scenario {
+    let count = (population as f64 * frac) as u32;
+    let mut sc = Scenario::new();
+    for wave in 0..4u64 {
+        let at = horizon / 4 + wave * horizon / 8;
+        sc.push(
+            at,
+            FaultAction::KillRandom {
+                count,
+                locality: None,
+            },
+        );
+        sc.push(
+            at + 60_000,
+            FaultAction::JoinWave {
+                count,
+                website: None,
+                lifetime_ms: None,
+            },
+        );
+    }
+    sc
+}
 
 fn main() {
     let horizon = 2 * 3_600_000u64;
+    let population = 240;
     println!(
-        "{:<14} {:>12} {:>12} {:>14} {:>14} {:>9}",
-        "mean uptime", "flower hit", "squirrel hit", "flower lookup", "squirrel lookup", "repairs"
+        "{:<12} {:>12} {:>12} {:>14} {:>16} {:>9}",
+        "storm size", "flower hit", "squirrel hit", "flower lookup", "squirrel lookup", "repairs"
     );
-    for divisor in [2u64, 4, 8, 16] {
-        let mut params = SimParams::quick(240, horizon);
+    for frac in [0.0, 0.1, 0.25, 0.5] {
+        let mut params = SimParams::quick(population, horizon);
         params.seed = 11;
-        params.mean_uptime_ms = horizon / divisor;
-        // Hold the workload fixed across rows — only the churn varies.
+        // Hold the baseline churn and workload fixed across rows — only
+        // the scripted storms vary.
+        params.mean_uptime_ms = horizon / 2;
         params.query_period_ms = horizon / 48; // one query every 2.5 min
         params.gossip_period_ms = horizon / 8;
         params.catalog.websites = 6;
         params.catalog.active_websites = 3;
         params.catalog.objects_per_site = 200;
-        let run = run_comparison(params);
+        let inst = Instrumentation {
+            scenario: (frac > 0.0).then(|| storm(horizon, population, frac)),
+            ..Instrumentation::default()
+        };
+        let run = run_comparison_instrumented(params, inst);
         println!(
-            "{:>10} min {:>12.3} {:>12.3} {:>11.0} ms {:>11.0} ms {:>9}",
-            horizon / divisor / 60_000,
+            "{:>9.0} % {:>12.3} {:>12.3} {:>11.0} ms {:>13.0} ms {:>9}",
+            frac * 100.0,
             run.flower.stats.hit_ratio(),
             run.squirrel.stats.hit_ratio(),
             run.flower.stats.mean_lookup_ms(),
@@ -43,10 +79,10 @@ fn main() {
     }
     println!();
     println!(
-        "shorter uptimes → more directory deaths → more repairs. Both\n\
-         systems lose hit ratio to churn, but Flower-CDN closes on and\n\
-         overtakes Squirrel as churn grows (the Fig. 3 dynamic), while\n\
-         resolving queries ~2× faster at every churn level — the §5\n\
-         maintenance protocols at work."
+        "bigger storms → more directory deaths → more repairs. Both\n\
+         systems lose hit ratio to the turnover, but Flower-CDN repairs\n\
+         its directory layer (the repairs column), overtakes Squirrel\n\
+         under the heaviest storm, and resolves queries faster at every\n\
+         storm size — the §5 maintenance protocols at work."
     );
 }

@@ -3,30 +3,42 @@
 //! redistribute the content of their favourite and under-provisioned
 //! websites for large audiences", §1).
 //!
-//! We run two simulations differing only in how interest concentrates:
-//! a *calm* run (interest spread over all active websites) and a *flash
-//! crowd* run where the catalog has a single active website absorbing the
-//! whole audience. The point of a P2P CDN is that the hit ratio — the
-//! fraction of load **kept off the origin server** — goes *up* as the
+//! The crowd arrives *mid-run* as a scripted [`FaultAction::JoinWave`]
+//! aimed at a single website: a calm system absorbs a burst of joiners all
+//! interested in website 0. The point of a P2P CDN is that the hit ratio —
+//! the fraction of load **kept off the origin server** — goes *up* as the
 //! crowd grows, because every downloader becomes a provider.
 //!
 //! ```sh
 //! cargo run --release --example flash_crowd
 //! ```
 
-use flower_cdn::{FlowerSim, SimParams};
+use flower_cdn::{FaultAction, FlowerSim, Scenario, SimParams};
 
-fn run(label: &str, active_websites: u16, population: usize) {
-    let mut params = SimParams::quick(population, 2 * 3_600_000);
+fn run(label: &str, crowd: u32) {
+    let horizon = 2 * 3_600_000u64;
+    let mut params = SimParams::quick(200, horizon);
     params.seed = 7;
-    // Concentrate (or spread) the audience.
     params.catalog.websites = 6;
-    params.catalog.active_websites = active_websites;
+    params.catalog.active_websites = 3;
     params.catalog.objects_per_site = 200;
-    let result = FlowerSim::new(params).run();
+    let mut sim = FlowerSim::new(params);
+    if crowd > 0 {
+        // The whole wave lands at once at the half-hour mark, every
+        // member interested in the same website.
+        sim.apply_scenario(&Scenario::new().at(
+            horizon / 4,
+            FaultAction::JoinWave {
+                count: crowd,
+                website: Some(0),
+                lifetime_ms: None,
+            },
+        ));
+    }
+    let result = sim.run();
     let origin_queries = result.stats.queries - result.stats.hits;
     println!(
-        "{label:<22} population={population:<5} queries={:<6} hit={:.3}  \
+        "{label:<22} crowd={crowd:<5} queries={:<6} hit={:.3}  \
          origin load={origin_queries} queries  lookup={:.0} ms",
         result.stats.queries,
         result.stats.hit_ratio(),
@@ -35,14 +47,13 @@ fn run(label: &str, active_websites: u16, population: usize) {
 }
 
 fn main() {
-    println!("-- calm traffic: audience spread over 6 websites --");
-    run("calm/small", 6, 200);
-    run("calm/large", 6, 600);
+    println!("-- calm traffic: no crowd, interest spread over 3 websites --");
+    run("calm", 0);
 
     println!();
-    println!("-- flash crowd: the whole audience hits ONE website --");
-    run("flash-crowd/small", 1, 200);
-    run("flash-crowd/large", 1, 600);
+    println!("-- flash crowd: a join wave aimed at ONE website --");
+    run("flash-crowd/small", 200);
+    run("flash-crowd/large", 600);
 
     println!();
     println!(
