@@ -20,4 +20,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> resilience smoke (scripted faults, recovery asserted)"
 cargo run --release -p flower-bench --bin resilience -- --quick --assert-recovery
 
+echo "==> sweep smoke (tiny grid, --jobs 2 vs --jobs 1 must be byte-identical)"
+rm -rf results/sweep_smoke_j2 results/sweep_smoke_j1
+cargo run --release -p flower-bench --bin sweep -- --smoke --jobs 2 --out results/sweep_smoke_j2
+cargo run --release -p flower-bench --bin sweep -- --smoke --jobs 1 --out results/sweep_smoke_j1
+for f in runs.csv summary.csv summary.json; do
+    diff "results/sweep_smoke_j2/$f" "results/sweep_smoke_j1/$f" \
+        || { echo "sweep output $f depends on --jobs"; exit 1; }
+done
+
 echo "==> CI green"

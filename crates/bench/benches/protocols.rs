@@ -9,7 +9,7 @@ use rand::{Rng, SeedableRng};
 
 use bloom::BloomFilter;
 use chord::{Chord, ChordConfig, ChordId, NodeRef};
-use flower_cdn::{DirectoryIndex, FlowerSim, SimParams, SquirrelMode, SquirrelSim};
+use flower_cdn::{DirectoryIndex, FlowerSim, SimDriver, SimParams, SquirrelMode, SquirrelSim};
 use gossip::{Cyclon, Entry, GossipMsg, ShuffleMode};
 use simnet::NodeId;
 use workload::{ObjectId, WebsiteId, Zipf};

@@ -10,12 +10,14 @@
 //!
 //! ```sh
 //! cargo run --release -p flower-bench --bin ablation_cache [-- --quick]
+//! cargo run --release -p flower-bench --bin ablation_cache -- --seeds 1..4 --jobs 4
 //! ```
 
 use cdn_metrics::{ascii_table, Csv};
-use flower_bench::{HarnessOpts, Scale};
+use flower_bench::{fmt_mean_spread, HarnessOpts, Scale};
 use flower_cdn::peer::ProtocolEvent;
-use flower_cdn::{FlowerSim, SimParams, StorePolicy};
+use flower_cdn::{SimParams, StorePolicy, System};
+use sweep::{aggregate, execute_cell, run_cells, runs_csv, Cell, CellResult, Grid};
 
 fn base(opts: &HarnessOpts) -> SimParams {
     match opts.scale {
@@ -38,42 +40,92 @@ fn base(opts: &HarnessOpts) -> SimParams {
 fn main() {
     let opts = HarnessOpts::parse();
     let policies = [
-        (StorePolicy::Unlimited, "unlimited (paper)".to_string()),
-        (StorePolicy::Lru { capacity: 20 }, "LRU 20".to_string()),
-        (StorePolicy::Lru { capacity: 10 }, "LRU 10".to_string()),
-        (StorePolicy::Lru { capacity: 5 }, "LRU 5".to_string()),
-        (StorePolicy::Lru { capacity: 2 }, "LRU 2".to_string()),
+        (StorePolicy::Unlimited, "unlimited", "unlimited (paper)"),
+        (StorePolicy::Lru { capacity: 20 }, "lru20", "LRU 20"),
+        (StorePolicy::Lru { capacity: 10 }, "lru10", "LRU 10"),
+        (StorePolicy::Lru { capacity: 5 }, "lru5", "LRU 5"),
+        (StorePolicy::Lru { capacity: 2 }, "lru2", "LRU 2"),
     ];
-    let mut rows = Vec::new();
-    for (policy, label) in policies {
-        let mut params = base(&opts);
+    let base_params = base(&opts);
+    let seeds = opts.seed_list(base_params.seed);
+    let mut grid = Grid::new(seeds.clone());
+    for (policy, tag, _) in policies {
+        let mut params = base_params.clone();
         params.store_policy = policy;
-        let r = FlowerSim::new(params).run();
+        grid.push(Cell::new(tag, System::FlowerCdn, params));
+    }
+    println!(
+        "sweeping {} cache policies × {} seed(s) ({} runs, --jobs {})…",
+        grid.cells.len(),
+        seeds.len(),
+        grid.total_runs(),
+        opts.jobs()
+    );
+    let sweep_opts = opts.sweep_opts();
+    // Full results (not just summaries): the fetch-miss diagnostic lives
+    // in the per-run protocol event counts.
+    let grouped = run_cells(&grid, &sweep_opts, |cell, seed| {
+        let r = execute_cell(cell, seed, &sweep_opts);
         let fetch_misses = r
             .events
             .get(&ProtocolEvent::FetchMiss)
             .copied()
             .unwrap_or(0);
-        rows.push((
-            label,
-            r.stats.hit_ratio(),
-            r.stats.mean_lookup_ms(),
-            fetch_misses,
-            r.stats.queries,
-        ));
-    }
-    let rendered: Vec<Vec<String>> = rows
+        (r.summary(), fetch_misses)
+    });
+
+    let cells: Vec<CellResult> = grid
+        .cells
         .iter()
-        .map(|(label, hit, lookup, misses, queries)| {
-            vec![
-                label.clone(),
-                format!("{hit:.3}"),
-                format!("{lookup:.0} ms"),
-                format!("{misses}"),
-                format!("{queries}"),
-            ]
+        .zip(&grouped)
+        .map(|(cell, runs)| CellResult {
+            label: cell.label.clone(),
+            system: cell.system,
+            population: cell.params.population,
+            runs: runs
+                .iter()
+                .map(|(seed, (summary, _))| (*seed, summary.clone()))
+                .collect(),
         })
         .collect();
+
+    let mut rendered = Vec::new();
+    let mut csv = Csv::new(&[
+        "policy",
+        "runs",
+        "hit_ratio_mean",
+        "hit_ratio_stddev",
+        "mean_lookup_ms_mean",
+        "fetch_misses_mean",
+        "queries_mean",
+    ]);
+    for (i, (_, _, label)) in policies.iter().enumerate() {
+        let hit = cells[i].agg("hit_ratio");
+        let lookup = cells[i].agg("mean_lookup_ms");
+        let queries = cells[i].agg("queries");
+        let misses = aggregate(
+            &grouped[i]
+                .iter()
+                .map(|(_, (_, m))| *m as f64)
+                .collect::<Vec<_>>(),
+        );
+        rendered.push(vec![
+            label.to_string(),
+            fmt_mean_spread(&hit, 3),
+            format!("{:.0} ms", lookup.mean),
+            format!("{:.1}", misses.mean),
+            format!("{:.0}", queries.mean),
+        ]);
+        csv.row(&[
+            policies[i].1.to_string(),
+            hit.n.to_string(),
+            format!("{:.6}", hit.mean),
+            format!("{:.6}", hit.stddev),
+            format!("{:.3}", lookup.mean),
+            format!("{:.3}", misses.mean),
+            format!("{:.3}", queries.mean),
+        ]);
+    }
     println!(
         "{}",
         ascii_table(
@@ -93,23 +145,10 @@ fn main() {
          caches, so the hit ratio should fall gently with capacity; stale\n\
          redirects (fetch misses) stay rare thanks to index retraction."
     );
-    let mut csv = Csv::new(&[
-        "policy",
-        "hit_ratio",
-        "mean_lookup_ms",
-        "fetch_misses",
-        "queries",
-    ]);
-    for (label, hit, lookup, misses, queries) in rows {
-        csv.row(&[
-            label,
-            format!("{hit:.4}"),
-            format!("{lookup:.1}"),
-            misses.to_string(),
-            queries.to_string(),
-        ]);
-    }
-    let path = opts.results_dir().join("ablation_cache.csv");
+    let dir = opts.results_dir();
+    let path = dir.join("ablation_cache.csv");
     csv.save(&path).expect("write results csv");
-    println!("wrote {}", path.display());
+    let runs_path = dir.join("ablation_cache_runs.csv");
+    runs_csv(&cells).save(&runs_path).expect("write runs csv");
+    println!("wrote {} and {}", path.display(), runs_path.display());
 }

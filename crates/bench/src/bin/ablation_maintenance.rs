@@ -4,16 +4,20 @@
 //! "periodic updates are disseminated throughout a petal via gossip and
 //! push exchanges. Thus, a new directory peer can progressively
 //! reconstruct its directory-index" (§6.2.1). This harness removes one
-//! mechanism at a time under the paper's churn and measures the cost.
+//! mechanism at a time under the paper's churn and measures the cost;
+//! each variant is just a sweep cell whose parameters disable the
+//! mechanism ([`MaintenanceVariant::apply`]).
 //!
 //! ```sh
 //! cargo run --release -p flower-bench --bin ablation_maintenance [-- --quick]
+//! cargo run --release -p flower-bench --bin ablation_maintenance -- --seeds 1..4 --jobs 4
 //! ```
 
-use cdn_metrics::{ascii_table, Csv};
-use flower_bench::{HarnessOpts, Scale};
-use flower_cdn::experiments::{run_maintenance_variant, MaintenanceVariant};
-use flower_cdn::SimParams;
+use cdn_metrics::ascii_table;
+use flower_bench::{fmt_mean_spread, HarnessOpts, Scale};
+use flower_cdn::experiments::MaintenanceVariant;
+use flower_cdn::{SimParams, System};
+use sweep::{run_grid, runs_csv, summary_csv, Cell, Grid};
 
 fn base_params(opts: &HarnessOpts) -> SimParams {
     match opts.scale {
@@ -40,29 +44,36 @@ fn base_params(opts: &HarnessOpts) -> SimParams {
 fn main() {
     let opts = HarnessOpts::parse();
     let variants = [
-        (MaintenanceVariant::Full, "full §5 suite"),
-        (MaintenanceVariant::NoPush, "no push messages"),
-        (MaintenanceVariant::NoGossip, "no petal gossip"),
+        (MaintenanceVariant::Full, "full", "full §5 suite"),
+        (MaintenanceVariant::NoPush, "no_push", "no push messages"),
+        (MaintenanceVariant::NoGossip, "no_gossip", "no petal gossip"),
     ];
-    let mut rows = Vec::new();
-    for (variant, label) in variants {
-        let r = run_maintenance_variant(base_params(&opts), variant);
-        rows.push((
-            label,
-            r.stats.hit_ratio(),
-            r.stats.mean_lookup_ms(),
-            r.replacements,
-        ));
+    let base = base_params(&opts);
+    let seeds = opts.seed_list(base.seed);
+    let mut grid = Grid::new(seeds.clone());
+    for (variant, tag, _) in variants {
+        let mut params = base.clone();
+        variant.apply(&mut params);
+        grid.push(Cell::new(tag, System::FlowerCdn, params));
     }
+    println!(
+        "running {} maintenance variants × {} seed(s) ({} runs, --jobs {})…",
+        grid.cells.len(),
+        seeds.len(),
+        grid.total_runs(),
+        opts.jobs()
+    );
+    let results = run_grid(&grid, &opts.sweep_opts());
 
-    let rendered: Vec<Vec<String>> = rows
+    let rendered: Vec<Vec<String>> = variants
         .iter()
-        .map(|&(label, hit, lookup, repl)| {
+        .zip(&results)
+        .map(|(&(_, _, label), cell)| {
             vec![
                 label.to_string(),
-                format!("{hit:.3}"),
-                format!("{lookup:.0} ms"),
-                repl.to_string(),
+                fmt_mean_spread(&cell.agg("hit_ratio"), 3),
+                format!("{:.0} ms", cell.agg("mean_lookup_ms").mean),
+                format!("{:.1}", cell.agg("replacements").mean),
             ]
         })
         .collect();
@@ -80,16 +91,12 @@ fn main() {
          dir-info dissemination — both cost hit ratio vs the full suite."
     );
 
-    let mut csv = Csv::new(&["variant", "hit_ratio", "mean_lookup_ms", "repairs"]);
-    for (label, hit, lookup, repl) in rows {
-        csv.row(&[
-            label.to_string(),
-            format!("{hit:.4}"),
-            format!("{lookup:.1}"),
-            repl.to_string(),
-        ]);
-    }
-    let path = opts.results_dir().join("ablation_maintenance.csv");
-    csv.save(&path).expect("write results csv");
-    println!("wrote {}", path.display());
+    let dir = opts.results_dir();
+    let path = dir.join("ablation_maintenance.csv");
+    summary_csv(&results)
+        .save(&path)
+        .expect("write summary csv");
+    let runs_path = dir.join("ablation_maintenance_runs.csv");
+    runs_csv(&results).save(&runs_path).expect("write runs csv");
+    println!("wrote {} and {}", path.display(), runs_path.display());
 }

@@ -9,13 +9,19 @@
 //! maximum per-instance load stays near the capacity limit, and the hit
 //! ratio is unaffected by splitting.
 //!
+//! The end-of-run structure (live instances, chain depth, peak load) is
+//! read from the gauge stream — the runs go through the generic
+//! [`sweep`] orchestrator, no mid-run peeking at Flower-CDN internals.
+//!
 //! ```sh
 //! cargo run --release -p flower-bench --bin ablation_petalup [-- --quick]
+//! cargo run --release -p flower-bench --bin ablation_petalup -- --seeds 1..4 --jobs 4
 //! ```
 
 use cdn_metrics::{ascii_table, Csv};
-use flower_bench::{HarnessOpts, Scale};
-use flower_cdn::{FlowerSim, SimParams};
+use flower_bench::{fmt_mean_spread, HarnessOpts, Scale};
+use flower_cdn::{SimParams, System};
+use sweep::{aggregate, execute_cell, run_cells, runs_csv, Cell, CellResult, Grid};
 
 fn crowd_params(opts: &HarnessOpts, capacity: usize) -> SimParams {
     let horizon = match opts.scale {
@@ -38,46 +44,122 @@ fn crowd_params(opts: &HarnessOpts, capacity: usize) -> SimParams {
     p
 }
 
+/// Per-run structure sampled from the final gauge tick.
+struct Structure {
+    instances: f64,
+    max_instance: f64,
+    max_load: f64,
+    splits: f64,
+    hit_ratio: f64,
+}
+
 fn main() {
     let opts = HarnessOpts::parse();
     let capacities = [usize::MAX, 30, 12, 6];
-    let mut rows = Vec::new();
+    let base = crowd_params(&opts, usize::MAX);
+    let seeds = opts.seed_list(base.seed);
+    let mut grid = Grid::new(seeds.clone());
     for &cap in &capacities {
-        let params = crowd_params(&opts, cap);
-        let mut sim = FlowerSim::new(params.clone());
-        sim.run_until(simnet::Time::from_millis(params.horizon_ms));
-        let loads = sim.directory_loads();
-        let instances = loads.len();
-        let max_instance = loads.iter().map(|(p, _)| p.instance).max().unwrap_or(0);
-        let max_load = loads.iter().map(|(_, l)| *l).max().unwrap_or(0);
-        let result = sim.finish();
-        rows.push((
-            cap,
-            instances,
-            max_instance,
-            max_load,
-            result.splits,
-            result.stats.hit_ratio(),
-        ));
+        let tag = if cap == usize::MAX {
+            "cap_inf".to_string()
+        } else {
+            format!("cap{cap}")
+        };
+        grid.push(Cell::new(tag, System::FlowerCdn, crowd_params(&opts, cap)));
     }
+    println!(
+        "sweeping {} directory capacities × {} seed(s) ({} runs, --jobs {})…",
+        capacities.len(),
+        seeds.len(),
+        grid.total_runs(),
+        opts.jobs()
+    );
+    // The structure metrics come from gauges, so force a sampling period
+    // even when the user didn't pass --gauges.
+    let mut sweep_opts = opts.sweep_opts();
+    sweep_opts.gauge_period_ms = Some(
+        opts.gauge_period_ms
+            .unwrap_or((base.horizon_ms / 48).max(60_000)),
+    );
+    let grouped = run_cells(&grid, &sweep_opts, |cell, seed| {
+        let r = execute_cell(cell, seed, &sweep_opts);
+        let structure = Structure {
+            instances: r.gauges.last("dring_size").unwrap_or(0.0),
+            max_instance: r.gauges.last("instance_depth_max").unwrap_or(0.0),
+            max_load: r.gauges.last("petal_size_max").unwrap_or(0.0),
+            splits: r.splits as f64,
+            hit_ratio: r.stats.hit_ratio(),
+        };
+        (r.summary(), structure)
+    });
 
-    let rendered: Vec<Vec<String>> = rows
+    let cells: Vec<CellResult> = grid
+        .cells
         .iter()
-        .map(|&(cap, inst, maxi, load, splits, hit)| {
-            vec![
-                if cap == usize::MAX {
-                    "∞ (no splits)".to_string()
-                } else {
-                    cap.to_string()
-                },
-                inst.to_string(),
-                maxi.to_string(),
-                load.to_string(),
-                splits.to_string(),
-                format!("{hit:.3}"),
-            ]
+        .zip(&grouped)
+        .map(|(cell, runs)| CellResult {
+            label: cell.label.clone(),
+            system: cell.system,
+            population: cell.params.population,
+            runs: runs
+                .iter()
+                .map(|(seed, (summary, _))| (*seed, summary.clone()))
+                .collect(),
         })
         .collect();
+
+    let mut rendered = Vec::new();
+    let mut csv = Csv::new(&[
+        "capacity",
+        "runs",
+        "instances_mean",
+        "max_instance_mean",
+        "max_load_mean",
+        "splits_mean",
+        "hit_ratio_mean",
+        "hit_ratio_stddev",
+    ]);
+    for (i, &cap) in capacities.iter().enumerate() {
+        let field = |get: fn(&Structure) -> f64| {
+            aggregate(
+                &grouped[i]
+                    .iter()
+                    .map(|(_, (_, s))| get(s))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let instances = field(|s| s.instances);
+        let max_instance = field(|s| s.max_instance);
+        let max_load = field(|s| s.max_load);
+        let splits = field(|s| s.splits);
+        let hit = field(|s| s.hit_ratio);
+        rendered.push(vec![
+            if cap == usize::MAX {
+                "∞ (no splits)".to_string()
+            } else {
+                cap.to_string()
+            },
+            format!("{:.1}", instances.mean),
+            format!("{:.1}", max_instance.mean),
+            format!("{:.1}", max_load.mean),
+            format!("{:.1}", splits.mean),
+            fmt_mean_spread(&hit, 3),
+        ]);
+        csv.row(&[
+            if cap == usize::MAX {
+                "inf".into()
+            } else {
+                cap.to_string()
+            },
+            hit.n.to_string(),
+            format!("{:.3}", instances.mean),
+            format!("{:.3}", max_instance.mean),
+            format!("{:.3}", max_load.mean),
+            format!("{:.3}", splits.mean),
+            format!("{:.6}", hit.mean),
+            format!("{:.6}", hit.stddev),
+        ]);
+    }
     println!(
         "{}",
         ascii_table(
@@ -98,29 +180,10 @@ fn main() {
          per-instance load, and a hit ratio that splitting does not hurt (§4)."
     );
 
-    let mut csv = Csv::new(&[
-        "capacity",
-        "instances",
-        "max_instance",
-        "max_load",
-        "splits",
-        "hit_ratio",
-    ]);
-    for (cap, inst, maxi, load, splits, hit) in rows {
-        csv.row(&[
-            if cap == usize::MAX {
-                "inf".into()
-            } else {
-                cap.to_string()
-            },
-            inst.to_string(),
-            maxi.to_string(),
-            load.to_string(),
-            splits.to_string(),
-            format!("{hit:.4}"),
-        ]);
-    }
-    let path = opts.results_dir().join("ablation_petalup.csv");
+    let dir = opts.results_dir();
+    let path = dir.join("ablation_petalup.csv");
     csv.save(&path).expect("write results csv");
-    println!("wrote {}", path.display());
+    let runs_path = dir.join("ablation_petalup_runs.csv");
+    runs_csv(&cells).save(&runs_path).expect("write runs csv");
+    println!("wrote {} and {}", path.display(), runs_path.display());
 }

@@ -8,22 +8,28 @@
 //! ```sh
 //! cargo run --release -p flower-bench --bin fig3_hit_ratio            # paper scale
 //! cargo run --release -p flower-bench --bin fig3_hit_ratio -- --quick # smoke test
+//! cargo run --release -p flower-bench --bin fig3_hit_ratio -- --seeds 1..6 --jobs 4
 //! ```
 
 use cdn_metrics::{ascii_lines, Csv};
-use flower_bench::HarnessOpts;
-use flower_cdn::experiments::{hit_ratio_series, run_comparison_instrumented};
+use flower_bench::{run_comparison_sweep, HarnessOpts};
+use flower_cdn::experiments::hit_ratio_series;
 
 fn main() {
     let opts = HarnessOpts::parse();
     let params = opts.params(3_000);
     println!("{}", params.table1());
-    println!("running Flower-CDN and Squirrel side by side…");
-    let run = run_comparison_instrumented(params.clone(), opts.instrumentation());
+    let seeds = opts.seed_list(params.seed);
+    println!(
+        "running Flower-CDN and Squirrel over {} seed(s) with --jobs {}…",
+        seeds.len(),
+        opts.jobs()
+    );
+    let out = run_comparison_sweep(&opts, params.clone());
 
     let bucket = (params.horizon_ms / 24).max(60_000);
-    let flower = hit_ratio_series(&run.flower.records, bucket);
-    let squirrel = hit_ratio_series(&run.squirrel.records, bucket);
+    let flower = hit_ratio_series(&out.flower.records, bucket);
+    let squirrel = hit_ratio_series(&out.squirrel.records, bucket);
 
     let chart = ascii_lines(
         "Figure 3: hit ratio over time (cumulative)",
@@ -34,9 +40,9 @@ fn main() {
     println!("{chart}");
     println!(
         "final hit ratio: Flower-CDN {:.3}  Squirrel {:.3}  (relative improvement {:+.0}%)",
-        run.flower.stats.hit_ratio(),
-        run.squirrel.stats.hit_ratio(),
-        (run.flower.stats.hit_ratio() / run.squirrel.stats.hit_ratio() - 1.0) * 100.0
+        out.flower.stats.hit_ratio(),
+        out.squirrel.stats.hit_ratio(),
+        (out.flower.stats.hit_ratio() / out.squirrel.stats.hit_ratio() - 1.0) * 100.0
     );
 
     let mut csv = Csv::new(&["hours", "flower_hit_ratio", "squirrel_hit_ratio"]);
@@ -48,6 +54,12 @@ fn main() {
     csv.save(&path).expect("write results csv");
     println!("wrote {}", path.display());
 
+    let runs_path = opts.results_dir().join("fig3_runs.csv");
+    sweep::runs_csv(&out.cells)
+        .save(&runs_path)
+        .expect("write runs csv");
+    println!("wrote {}", runs_path.display());
+
     if let Some(p) = &opts.trace_out {
         println!(
             "wrote traces to {} (+ .squirrel.jsonl sibling); \
@@ -56,10 +68,10 @@ fn main() {
             p.display()
         );
     }
-    if !run.flower.gauges.is_empty() {
+    if !out.flower.gauges.is_empty() {
         println!(
             "{}",
-            run.flower.gauges.ascii_chart(
+            out.flower.gauges.ascii_chart(
                 "Flower-CDN gauges: population / D-ring size",
                 &["population", "dring_size"],
                 72,
@@ -67,7 +79,7 @@ fn main() {
             )
         );
         let gpath = opts.results_dir().join("fig3_gauges.csv");
-        run.flower
+        out.flower
             .gauges
             .to_csv()
             .save(&gpath)

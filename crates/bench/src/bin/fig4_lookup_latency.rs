@@ -6,21 +6,27 @@
 //!
 //! ```sh
 //! cargo run --release -p flower-bench --bin fig4_lookup_latency [-- --quick]
+//! cargo run --release -p flower-bench --bin fig4_lookup_latency -- --seeds 1..6 --jobs 4
 //! ```
 
 use cdn_metrics::{ascii_bars, Csv};
-use flower_bench::HarnessOpts;
-use flower_cdn::experiments::{lookup_histogram, run_comparison};
+use flower_bench::{run_comparison_sweep, HarnessOpts};
+use flower_cdn::experiments::lookup_histogram;
 
 fn main() {
     let opts = HarnessOpts::parse();
     let params = opts.params(3_000);
     println!("{}", params.table1());
-    println!("running Flower-CDN and Squirrel side by side…");
-    let run = run_comparison(params);
+    let seeds = opts.seed_list(params.seed);
+    println!(
+        "running Flower-CDN and Squirrel over {} seed(s) with --jobs {}…",
+        seeds.len(),
+        opts.jobs()
+    );
+    let out = run_comparison_sweep(&opts, params);
 
-    let f = lookup_histogram(&run.flower.records);
-    let s = lookup_histogram(&run.squirrel.records);
+    let f = lookup_histogram(&out.flower.records);
+    let s = lookup_histogram(&out.squirrel.records);
 
     let chart = ascii_bars(
         "Figure 4: lookup latency distribution (fraction of queries per bucket, ms)",
@@ -57,4 +63,10 @@ fn main() {
     let path = opts.results_dir().join("fig4_lookup_latency.csv");
     csv.save(&path).expect("write results csv");
     println!("wrote {}", path.display());
+
+    let runs_path = opts.results_dir().join("fig4_runs.csv");
+    sweep::runs_csv(&out.cells)
+        .save(&runs_path)
+        .expect("write runs csv");
+    println!("wrote {}", runs_path.display());
 }

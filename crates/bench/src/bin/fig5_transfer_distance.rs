@@ -7,21 +7,27 @@
 //!
 //! ```sh
 //! cargo run --release -p flower-bench --bin fig5_transfer_distance [-- --quick]
+//! cargo run --release -p flower-bench --bin fig5_transfer_distance -- --seeds 1..6 --jobs 4
 //! ```
 
 use cdn_metrics::{ascii_bars, Csv};
-use flower_bench::HarnessOpts;
-use flower_cdn::experiments::{run_comparison, transfer_histogram};
+use flower_bench::{run_comparison_sweep, HarnessOpts};
+use flower_cdn::experiments::transfer_histogram;
 
 fn main() {
     let opts = HarnessOpts::parse();
     let params = opts.params(3_000);
     println!("{}", params.table1());
-    println!("running Flower-CDN and Squirrel side by side…");
-    let run = run_comparison(params);
+    let seeds = opts.seed_list(params.seed);
+    println!(
+        "running Flower-CDN and Squirrel over {} seed(s) with --jobs {}…",
+        seeds.len(),
+        opts.jobs()
+    );
+    let out = run_comparison_sweep(&opts, params);
 
-    let f = transfer_histogram(&run.flower.records);
-    let s = transfer_histogram(&run.squirrel.records);
+    let f = transfer_histogram(&out.flower.records);
+    let s = transfer_histogram(&out.squirrel.records);
 
     let chart = ascii_bars(
         "Figure 5: transfer distance distribution (fraction of queries per bucket, ms)",
@@ -53,4 +59,10 @@ fn main() {
     let path = opts.results_dir().join("fig5_transfer_distance.csv");
     csv.save(&path).expect("write results csv");
     println!("wrote {}", path.display());
+
+    let runs_path = opts.results_dir().join("fig5_runs.csv");
+    sweep::runs_csv(&out.cells)
+        .save(&runs_path)
+        .expect("write runs csv");
+    println!("wrote {}", runs_path.display());
 }

@@ -1,25 +1,29 @@
 //! Combined harness: regenerates Figures 3, 4 and 5 from a **single**
-//! P = 3000 comparison run (all three figures come from the same pair of
+//! P = 3000 comparison sweep (all three figures come from the same pair of
 //! simulations in the paper too, §6.2.1). Use the individual
 //! `fig3_hit_ratio` / `fig4_lookup_latency` / `fig5_transfer_distance`
 //! binaries when only one artifact is needed.
 //!
 //! ```sh
 //! cargo run --release -p flower-bench --bin figures_p3000 [-- --quick]
+//! cargo run --release -p flower-bench --bin figures_p3000 -- --seeds 1..6 --jobs 4
 //! ```
 
 use cdn_metrics::{ascii_bars, ascii_lines, Csv};
-use flower_bench::HarnessOpts;
-use flower_cdn::experiments::{
-    hit_ratio_series, lookup_histogram, run_comparison, transfer_histogram,
-};
+use flower_bench::{run_comparison_sweep, HarnessOpts};
+use flower_cdn::experiments::{hit_ratio_series, lookup_histogram, transfer_histogram};
 
 fn main() {
     let opts = HarnessOpts::parse();
     let params = opts.params(3_000);
     println!("{}", params.table1());
-    println!("running Flower-CDN and Squirrel side by side…");
-    let run = run_comparison(params.clone());
+    let seeds = opts.seed_list(params.seed);
+    println!(
+        "running Flower-CDN and Squirrel over {} seed(s) with --jobs {}…",
+        seeds.len(),
+        opts.jobs()
+    );
+    let run = run_comparison_sweep(&opts, params.clone());
     let dir = opts.results_dir();
 
     // ---------------- Figure 3 ----------------
@@ -111,7 +115,13 @@ fn main() {
     csv.save(dir.join("fig5_transfer_distance.csv"))
         .expect("csv");
 
+    sweep::runs_csv(&run.cells)
+        .save(dir.join("figures_p3000_runs.csv"))
+        .expect("runs csv");
+
     println!(
-        "wrote results/fig3_hit_ratio.csv, fig4_lookup_latency.csv, fig5_transfer_distance.csv"
+        "wrote fig3_hit_ratio.csv, fig4_lookup_latency.csv, fig5_transfer_distance.csv, \
+         figures_p3000_runs.csv under {}",
+        dir.display()
     );
 }

@@ -19,81 +19,35 @@
 //! it fails the ring owners of each website's hottest objects (its de
 //! facto directories). Each system loses its own directory layer.
 //!
+//! Runs fan out over the sweep orchestrator: with `--seeds` every
+//! (system, seed) pair is an independent run on the worker pool, and the
+//! availability timeline is averaged across seeds.
+//!
 //! ```sh
 //! cargo run --release -p flower-bench --bin resilience            # paper scale
 //! cargo run --release -p flower-bench --bin resilience -- --quick # smoke test
 //! cargo run --release -p flower-bench --bin resilience -- --quick --assert-recovery
 //! cargo run --release -p flower-bench --bin resilience -- --scenario my.scenario
+//! cargo run --release -p flower-bench --bin resilience -- --seeds 1..6 --jobs 4
 //! ```
 //!
 //! `--assert-recovery` turns the report into hard assertions (used by
 //! `ci.sh`): Flower-CDN must replace killed directories and serve from the
 //! replacements with finite MTTR, Squirrel must show zero replacements,
-//! and the Flower-CDN run must pass the protocol invariant checker.
+//! and the Flower-CDN runs must pass the protocol invariant checker.
 
 use std::collections::BTreeMap;
 
-use cdn_metrics::Csv;
-use chaos::{FaultAction, ResilienceSummary, ResilienceTracker, Scenario};
-use flower_bench::HarnessOpts;
+use cdn_metrics::{Csv, RunSummary};
+use chaos::{FaultAction, ResilienceSummary, ResilienceTracker};
+use flower_bench::comparison::with_seed_suffix;
+use flower_bench::{canned_resilience_scenario, HarnessOpts};
 use flower_cdn::invariants::InvariantConfig;
-use flower_cdn::{FlowerSim, InvariantChecker, RunResult, SimParams, SquirrelMode, SquirrelSim};
-
-/// The canned schedule, scaled to the run's horizon `h`:
-///
-/// * `h/4` — assassinate the directory layer (all of it);
-/// * `h/2` — partition locality 1 from the world, heal after `h/12`;
-/// * `5h/8` — flash crowd: a quarter of the mean population joins at
-///   once, all interested in website 0;
-/// * `3h/4` — lossy links for `h/12`: 5% loss, 1% duplication, 30 ms
-///   jitter on every hop;
-/// * `7h/8` — origin brownout for `h/24`: +400 ms per origin fetch.
-fn canned_scenario(params: &SimParams) -> Scenario {
-    let h = params.horizon_ms;
-    Scenario::new()
-        .at(
-            h / 4,
-            FaultAction::KillDirectories {
-                website: None,
-                count: None,
-            },
-        )
-        .at(
-            h / 2,
-            FaultAction::Partition {
-                locality: 1,
-                heal_after_ms: Some(h / 12),
-            },
-        )
-        .at(
-            5 * h / 8,
-            FaultAction::JoinWave {
-                count: (params.population / 4).max(1) as u32,
-                website: Some(0),
-                lifetime_ms: None,
-            },
-        )
-        .at(
-            3 * h / 4,
-            FaultAction::LinkFault {
-                loss: 0.05,
-                duplicate: 0.01,
-                jitter_ms: 30,
-                for_ms: Some(h / 12),
-            },
-        )
-        .at(
-            7 * h / 8,
-            FaultAction::OriginBrownout {
-                website: None,
-                extra_ms: 400,
-                for_ms: Some(h / 24),
-            },
-        )
-}
+use flower_cdn::{run_system_with, InvariantChecker, System};
+use sweep::{run_cells, Cell, Grid};
 
 struct SystemRun {
-    result: RunResult,
+    summary: RunSummary,
     resilience: ResilienceSummary,
     /// Invariant violations (Flower-CDN only; empty for Squirrel).
     violations: Vec<String>,
@@ -107,71 +61,75 @@ fn main() {
     let scenario = opts
         .scenario
         .clone()
-        .unwrap_or_else(|| canned_scenario(&params));
+        .unwrap_or_else(|| canned_resilience_scenario(&params));
     println!("fault schedule:\n{scenario}");
 
     // Availability-timeline resolution: fine enough to resolve the
     // degraded windows, coarse enough to keep buckets populated.
     let bucket_ms = (params.horizon_ms / 48).max(60_000);
 
-    println!("running Flower-CDN and Squirrel under the schedule…");
-    let (flower, squirrel) = std::thread::scope(|s| {
-        // The trackers are Rc-based (not Send): each thread builds its
-        // own and moves only the owned summary out.
-        let hf = s.spawn(|| {
-            let mut sim = FlowerSim::new(params.clone());
-            sim.apply_scenario(&scenario);
-            let tracker = ResilienceTracker::new(bucket_ms);
-            sim.add_trace_sink(tracker.clone());
+    let seeds = opts.seed_list(params.seed);
+    let multi = seeds.len() > 1;
+    let mut grid = Grid::new(seeds.clone());
+    grid.push(
+        Cell::new("flower", System::FlowerCdn, params.clone()).with_scenario(scenario.clone()),
+    );
+    grid.push(
+        Cell::new("squirrel", System::Squirrel, params.clone()).with_scenario(scenario.clone()),
+    );
+    println!(
+        "running Flower-CDN and Squirrel under the schedule, {} seed(s), --jobs {}…",
+        seeds.len(),
+        opts.jobs()
+    );
+
+    let inst = opts.instrumentation();
+    let mean_uptime_ms = params.mean_uptime_ms;
+    let grouped = run_cells(&grid, &opts.sweep_opts(), |cell, seed| {
+        let mut p = cell.params.clone();
+        p.seed = seed;
+        // The trackers are Rc-based (not Send): each worker builds its
+        // own inside the run and moves only the owned summary out.
+        let tracker = ResilienceTracker::new(bucket_ms);
+        let checker = (cell.system == System::FlowerCdn).then(|| {
             // A ghost holder purges via position self-checks whose misses
             // reset whenever stale ring state makes it look reachable, so
             // under dense churn an overlap can far outlive the default
             // 150 s grace. A ghost should never outlive a mean session,
             // though — scale the grace to the churn law.
-            let checker = InvariantChecker::with_config(InvariantConfig {
-                replacement_grace_ms: params.mean_uptime_ms.max(150_000),
+            InvariantChecker::with_config(InvariantConfig {
+                replacement_grace_ms: mean_uptime_ms.max(150_000),
                 ..InvariantConfig::default()
-            });
-            sim.add_trace_sink(checker.clone());
-            if let Some(path) = &opts.trace_out {
+            })
+        });
+        let result = run_system_with(cell.system, p, |sim| {
+            sim.add_trace_sink_boxed(Box::new(tracker.clone()));
+            if let Some(c) = &checker {
+                sim.add_trace_sink_boxed(Box::new(c.clone()));
+            }
+            if let Some(base) = inst.trace_path(cell.system) {
+                let path = if multi {
+                    with_seed_suffix(&base, seed)
+                } else {
+                    base
+                };
                 let w = cdn_metrics::JsonlTraceWriter::create(path).expect("create trace file");
-                sim.add_trace_sink(w);
+                sim.add_trace_sink_boxed(Box::new(w));
             }
-            if let Some(period) = opts.gauge_period_ms {
+            if let Some(period) = inst.gauge_period_ms {
                 sim.enable_gauges(period);
             }
-            let result = sim.run();
-            SystemRun {
-                result,
-                resilience: tracker.summary(),
-                violations: checker.violations(),
+            if let Some(sc) = &cell.scenario {
+                sim.apply_scenario(sc);
             }
         });
-        let hs = s.spawn(|| {
-            let mut sim = SquirrelSim::new(params.clone(), SquirrelMode::Directory);
-            sim.apply_scenario(&scenario);
-            let tracker = ResilienceTracker::new(bucket_ms);
-            sim.add_trace_sink(tracker.clone());
-            if let Some(path) = &opts.trace_out {
-                let sibling = path.with_extension("squirrel.jsonl");
-                let w = cdn_metrics::JsonlTraceWriter::create(sibling).expect("create trace file");
-                sim.add_trace_sink(w);
-            }
-            if let Some(period) = opts.gauge_period_ms {
-                sim.enable_gauges(period);
-            }
-            let result = sim.run();
-            SystemRun {
-                result,
-                resilience: tracker.summary(),
-                violations: Vec::new(),
-            }
-        });
-        (
-            hf.join().expect("flower run"),
-            hs.join().expect("squirrel run"),
-        )
+        SystemRun {
+            summary: result.summary(),
+            resilience: tracker.summary(),
+            violations: checker.map(|c| c.violations()).unwrap_or_default(),
+        }
     });
+    let (flower_runs, squirrel_runs) = (&grouped[0], &grouped[1]);
 
     let kill_at = scenario
         .iter()
@@ -184,11 +142,18 @@ fn main() {
          replacement-served query)"
     );
     println!(
-        "{:<12} {:>12} {:>10} {:>8} {:>12} {:>22}",
-        "system", "dirs killed", "replaced", "served", "mean TTR (s)", "worst hit-ratio after"
+        "{:<12} {:>6} {:>12} {:>10} {:>8} {:>12} {:>22}",
+        "system",
+        "seed",
+        "dirs killed",
+        "replaced",
+        "served",
+        "mean TTR (s)",
+        "worst hit-ratio after"
     );
     let mut csv = Csv::new(&[
         "system",
+        "seed",
         "dirs_killed",
         "replaced",
         "served",
@@ -196,28 +161,32 @@ fn main() {
         "worst_hit_ratio_after_kill",
         "final_hit_ratio",
     ]);
-    for (label, run) in [("Flower-CDN", &flower), ("Squirrel", &squirrel)] {
-        let r = &run.resilience;
-        let ttr_s = r.mean_ttr_ms().map(|ms| ms / 1_000.0);
-        let worst = r.worst_hit_ratio_after(kill_at);
-        println!(
-            "{:<12} {:>12} {:>10} {:>8} {:>12} {:>22}",
-            label,
-            r.recoveries.len(),
-            r.replaced(),
-            r.served(),
-            ttr_s.map_or("—".into(), |s| format!("{s:.1}")),
-            worst.map_or("—".into(), |w| format!("{w:.3}")),
-        );
-        csv.row(&[
-            label.to_string(),
-            r.recoveries.len().to_string(),
-            r.replaced().to_string(),
-            r.served().to_string(),
-            ttr_s.map_or(String::new(), |s| format!("{s:.3}")),
-            worst.map_or(String::new(), |w| format!("{w:.4}")),
-            format!("{:.4}", run.result.stats.hit_ratio()),
-        ]);
+    for (label, runs) in [("Flower-CDN", flower_runs), ("Squirrel", squirrel_runs)] {
+        for (seed, run) in runs {
+            let r = &run.resilience;
+            let ttr_s = r.mean_ttr_ms().map(|ms| ms / 1_000.0);
+            let worst = r.worst_hit_ratio_after(kill_at);
+            println!(
+                "{:<12} {:>6} {:>12} {:>10} {:>8} {:>12} {:>22}",
+                label,
+                seed,
+                r.recoveries.len(),
+                r.replaced(),
+                r.served(),
+                ttr_s.map_or("—".into(), |s| format!("{s:.1}")),
+                worst.map_or("—".into(), |w| format!("{w:.3}")),
+            );
+            csv.row(&[
+                label.to_string(),
+                seed.to_string(),
+                r.recoveries.len().to_string(),
+                r.replaced().to_string(),
+                r.served().to_string(),
+                ttr_s.map_or(String::new(), |s| format!("{s:.3}")),
+                worst.map_or(String::new(), |w| format!("{w:.4}")),
+                format!("{:.4}", run.summary.hit_ratio),
+            ]);
+        }
     }
     println!(
         "(Squirrel tracks zero recoveries by construction: it has no \
@@ -229,16 +198,25 @@ fn main() {
     println!("wrote {}", path.display());
 
     // Availability timeline: one row per bucket, both systems side by
-    // side (hit ratio of queries answered by the overlay vs the origin).
-    let mut buckets: BTreeMap<u64, [Option<f64>; 2]> = BTreeMap::new();
-    for (i, run) in [&flower, &squirrel].into_iter().enumerate() {
-        for b in &run.resilience.availability {
-            buckets.entry(b.start_ms).or_default()[i] = Some(b.hit_ratio());
+    // side (hit ratio of queries answered by the overlay vs the origin),
+    // averaged across seeds.
+    let mut buckets: BTreeMap<u64, [Vec<f64>; 2]> = BTreeMap::new();
+    for (i, runs) in [flower_runs, squirrel_runs].into_iter().enumerate() {
+        for (_, run) in runs {
+            for b in &run.resilience.availability {
+                buckets.entry(b.start_ms).or_default()[i].push(b.hit_ratio());
+            }
         }
     }
     let mut avail = Csv::new(&["hours", "flower_hit_ratio", "squirrel_hit_ratio"]);
     for (start_ms, [f, s]) in &buckets {
-        let fmt = |v: &Option<f64>| v.map_or(String::new(), |r| format!("{r:.4}"));
+        let fmt = |vs: &Vec<f64>| {
+            if vs.is_empty() {
+                String::new()
+            } else {
+                format!("{:.4}", vs.iter().sum::<f64>() / vs.len() as f64)
+            }
+        };
         avail.row(&[
             format!("{:.2}", *start_ms as f64 / 3_600_000.0),
             fmt(f),
@@ -249,47 +227,58 @@ fn main() {
     avail.save(&apath).expect("write availability csv");
     println!("wrote {}", apath.display());
 
-    if !flower.violations.is_empty() {
-        eprintln!(
-            "Flower-CDN invariant violations under the schedule:\n{}",
-            flower.violations.join("\n")
-        );
+    for (seed, run) in flower_runs {
+        if !run.violations.is_empty() {
+            eprintln!(
+                "Flower-CDN invariant violations under the schedule (seed {seed}):\n{}",
+                run.violations.join("\n")
+            );
+        }
     }
 
     if opts.assert_recovery {
-        let r = &flower.resilience;
-        assert!(
-            !r.recoveries.is_empty(),
-            "the kill wave should have hit at least one tracked directory"
-        );
-        assert!(
-            r.replaced() > 0,
-            "Flower-CDN should install replacement directories (§5.2.2)"
-        );
-        assert!(
-            r.served() > 0,
-            "a replacement should go on to serve a query"
-        );
-        let ttr = r.mean_ttr_ms().expect("served > 0 implies a TTR");
-        assert!(ttr.is_finite() && ttr > 0.0, "MTTR should be finite: {ttr}");
-        assert_eq!(
-            squirrel.resilience.replaced(),
-            0,
-            "Squirrel has no replacement protocol; a nonzero count means \
-             the tracker is mislabelling events"
-        );
-        assert!(
-            flower.violations.is_empty(),
-            "invariants must hold under chaos:\n{}",
-            flower.violations.join("\n")
-        );
+        for (seed, run) in flower_runs {
+            let r = &run.resilience;
+            assert!(
+                !r.recoveries.is_empty(),
+                "seed {seed}: the kill wave should have hit at least one tracked directory"
+            );
+            assert!(
+                r.replaced() > 0,
+                "seed {seed}: Flower-CDN should install replacement directories (§5.2.2)"
+            );
+            assert!(
+                r.served() > 0,
+                "seed {seed}: a replacement should go on to serve a query"
+            );
+            let ttr = r.mean_ttr_ms().expect("served > 0 implies a TTR");
+            assert!(
+                ttr.is_finite() && ttr > 0.0,
+                "seed {seed}: MTTR should be finite: {ttr}"
+            );
+            assert!(
+                run.violations.is_empty(),
+                "seed {seed}: invariants must hold under chaos:\n{}",
+                run.violations.join("\n")
+            );
+        }
+        for (seed, run) in squirrel_runs {
+            assert_eq!(
+                run.resilience.replaced(),
+                0,
+                "seed {seed}: Squirrel has no replacement protocol; a nonzero count \
+                 means the tracker is mislabelling events"
+            );
+        }
+        let first = &flower_runs[0].1.resilience;
         println!(
-            "recovery assertions passed: {} directories killed, {} replaced, \
-             {} served, mean TTR {:.1} s",
-            r.recoveries.len(),
-            r.replaced(),
-            r.served(),
-            ttr / 1_000.0
+            "recovery assertions passed over {} seed(s): first seed killed {} \
+             directories, {} replaced, {} served, mean TTR {:.1} s",
+            flower_runs.len(),
+            first.recoveries.len(),
+            first.replaced(),
+            first.served(),
+            first.mean_ttr_ms().unwrap_or(0.0) / 1_000.0
         );
     }
 }

@@ -6,16 +6,19 @@
 //! and transfer latencies *drop*; Squirrel's hit also grows but its lookup
 //! latency stays ~1.5 s flat (§6.2.2).
 //!
-//! Runs all (population, system) pairs on parallel OS threads; at paper
-//! scale expect tens of minutes of wall-clock time.
+//! Runs the whole (population × system × seed) grid through the sweep
+//! orchestrator's worker pool; at paper scale expect tens of minutes of
+//! wall-clock time.
 //!
 //! ```sh
 //! cargo run --release -p flower-bench --bin table2_scalability [-- --quick]
+//! cargo run --release -p flower-bench --bin table2_scalability -- --seeds 1..6 --jobs 4
 //! ```
 
-use cdn_metrics::{ascii_table, Csv};
-use flower_bench::{HarnessOpts, Scale};
-use flower_cdn::experiments::table2_scalability;
+use cdn_metrics::ascii_table;
+use flower_bench::{fmt_mean_spread, HarnessOpts, Scale};
+use flower_cdn::System;
+use sweep::{run_grid, runs_csv, summary_csv, Cell, Grid};
 
 fn main() {
     let opts = HarnessOpts::parse();
@@ -25,22 +28,37 @@ fn main() {
         Scale::Quick => vec![200, 400, 600],
     };
     println!("{}", base.table1());
-    println!(
-        "sweeping populations {:?} for both systems ({} parallel runs)…",
-        populations,
-        populations.len() * 2
-    );
-    let rows = table2_scalability(&base, &populations);
 
-    let rendered: Vec<Vec<String>> = rows
+    let seeds = opts.seed_list(base.seed);
+    let mut grid = Grid::new(seeds.clone());
+    for &pop in &populations {
+        for (tag, system) in [
+            ("squirrel", System::Squirrel),
+            ("flower", System::FlowerCdn),
+        ] {
+            let mut params = base.clone();
+            params.population = pop;
+            grid.push(Cell::new(format!("{tag}_p{pop}"), system, params));
+        }
+    }
+    println!(
+        "sweeping populations {:?} × both systems × {} seed(s) ({} runs, --jobs {})…",
+        populations,
+        seeds.len(),
+        grid.total_runs(),
+        opts.jobs()
+    );
+    let results = run_grid(&grid, &opts.sweep_opts());
+
+    let rendered: Vec<Vec<String>> = results
         .iter()
-        .map(|r| {
+        .map(|cell| {
             vec![
-                r.population.to_string(),
-                r.system.label().to_string(),
-                format!("{:.2}", r.hit_ratio),
-                format!("{:.0} ms", r.mean_lookup_ms),
-                format!("{:.0} ms", r.mean_transfer_ms),
+                cell.population.to_string(),
+                cell.system.label().to_string(),
+                fmt_mean_spread(&cell.agg("hit_ratio"), 2),
+                format!("{:.0} ms", cell.agg("mean_lookup_ms").mean),
+                format!("{:.0} ms", cell.agg("mean_transfer_ms").mean),
             ]
         })
         .collect();
@@ -53,23 +71,12 @@ fn main() {
         )
     );
 
-    let mut csv = Csv::new(&[
-        "population",
-        "system",
-        "hit_ratio",
-        "mean_lookup_ms",
-        "mean_transfer_ms",
-    ]);
-    for r in &rows {
-        csv.row(&[
-            r.population.to_string(),
-            r.system.label().to_string(),
-            format!("{:.4}", r.hit_ratio),
-            format!("{:.1}", r.mean_lookup_ms),
-            format!("{:.1}", r.mean_transfer_ms),
-        ]);
-    }
-    let path = opts.results_dir().join("table2_scalability.csv");
-    csv.save(&path).expect("write results csv");
-    println!("wrote {}", path.display());
+    let dir = opts.results_dir();
+    let path = dir.join("table2_scalability.csv");
+    summary_csv(&results)
+        .save(&path)
+        .expect("write summary csv");
+    let runs_path = dir.join("table2_runs.csv");
+    runs_csv(&results).save(&runs_path).expect("write runs csv");
+    println!("wrote {} and {}", path.display(), runs_path.display());
 }

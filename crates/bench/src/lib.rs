@@ -1,14 +1,19 @@
 //! Shared harness for the figure/table regeneration binaries.
 //!
-//! Every binary accepts:
+//! Every binary accepts (see [`opts::USAGE`]):
 //!
 //! * `--quick` — a reduced-scale run (minutes of virtual time, small
 //!   population) for smoke-testing the pipeline;
 //! * `--population N` — override the mean population (where applicable);
-//! * `--seed N` — override the RNG seed;
+//! * `--seed N` / `--seeds a,b,c|start..end` — one run or a multi-seed
+//!   sweep; multi-seed harnesses aggregate across seeds;
+//! * `--jobs N` — worker threads for multi-run harnesses (default:
+//!   available cores; the aggregated output never depends on it);
+//! * `--out DIR` — result-file directory (default `results/`);
 //! * `--trace-out PATH` — stream every simulation event as JSON lines to
-//!   `PATH` (Squirrel runs land in a `.squirrel.jsonl` sibling); one
-//!   query's causal path is the set of lines sharing its `qid`;
+//!   `PATH` (Squirrel runs land in a `.squirrel.jsonl` sibling; multi-seed
+//!   runs add a `_s<seed>` suffix); one query's causal path is the set of
+//!   lines sharing its `qid`;
 //! * `--gauges MS` — sample live gauges (population, D-ring size, petal
 //!   sizes, per-class message rates) every `MS` of virtual time;
 //! * `--scenario FILE` — apply a [`chaos`] fault schedule (scenario text
@@ -18,175 +23,29 @@
 //! (Table 1: 24 simulated hours, 100 websites × 500 objects, k = 6,
 //! uptime 60 min) — expect minutes of wall-clock time per simulated
 //! system. Results are written under `results/` as CSV and rendered as
-//! ASCII charts on stdout.
+//! ASCII charts on stdout. Multi-run harnesses fan out over the
+//! [`sweep`] orchestrator and also emit the sweep's schema-stable
+//! `*_runs.csv` per-run artifacts.
 
-use flower_cdn::{Instrumentation, SimParams};
+pub mod comparison;
+pub mod opts;
+pub mod scenarios;
 
-/// Scale selection for a harness run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// Table 1 of the paper.
-    Paper,
-    /// Reduced scale for smoke tests.
-    Quick,
-}
-
-/// Command-line options shared by every harness binary.
-#[derive(Debug, Clone)]
-pub struct HarnessOpts {
-    pub scale: Scale,
-    pub population: Option<usize>,
-    pub seed: Option<u64>,
-    /// JSONL trace destination (`--trace-out`).
-    pub trace_out: Option<std::path::PathBuf>,
-    /// Gauge sampling period in virtual ms (`--gauges`).
-    pub gauge_period_ms: Option<u64>,
-    /// Fault schedule to apply to every system (`--scenario`).
-    pub scenario: Option<flower_cdn::Scenario>,
-    /// Fail the process unless the run demonstrates recovery
-    /// (`--assert-recovery`; consumed by the `resilience` binary, where it
-    /// turns the printed resilience report into hard assertions for CI).
-    pub assert_recovery: bool,
-}
-
-impl HarnessOpts {
-    /// Parse from `std::env::args`. Unknown flags abort with usage help.
-    pub fn parse() -> HarnessOpts {
-        let mut opts = HarnessOpts {
-            scale: Scale::Paper,
-            population: None,
-            seed: None,
-            trace_out: None,
-            gauge_period_ms: None,
-            scenario: None,
-            assert_recovery: false,
-        };
-        let mut args = std::env::args().skip(1);
-        while let Some(a) = args.next() {
-            match a.as_str() {
-                "--quick" => opts.scale = Scale::Quick,
-                "--population" => {
-                    let v = args.next().expect("--population needs a value");
-                    opts.population = Some(v.parse().expect("population must be a number"));
-                }
-                "--seed" => {
-                    let v = args.next().expect("--seed needs a value");
-                    opts.seed = Some(v.parse().expect("seed must be a number"));
-                }
-                "--trace-out" => {
-                    let v = args.next().expect("--trace-out needs a path");
-                    opts.trace_out = Some(v.into());
-                }
-                "--gauges" => {
-                    let v = args.next().expect("--gauges needs a period in ms");
-                    opts.gauge_period_ms =
-                        Some(v.parse().expect("gauge period must be a number of ms"));
-                }
-                "--scenario" => {
-                    let v = args.next().expect("--scenario needs a file path");
-                    let sc = flower_cdn::Scenario::load(&v).unwrap_or_else(|e| {
-                        eprintln!("bad scenario: {e}");
-                        std::process::exit(2);
-                    });
-                    opts.scenario = Some(sc);
-                }
-                "--assert-recovery" => opts.assert_recovery = true,
-                "--help" | "-h" => {
-                    eprintln!(
-                        "usage: <bin> [--quick] [--population N] [--seed N] \
-                         [--trace-out PATH] [--gauges MS] [--scenario FILE] \
-                         [--assert-recovery]"
-                    );
-                    std::process::exit(0);
-                }
-                other => {
-                    eprintln!("unknown flag {other}; try --help");
-                    std::process::exit(2);
-                }
-            }
-        }
-        opts
-    }
-
-    /// The instrumentation this invocation asks for, in the form the
-    /// experiment drivers accept.
-    pub fn instrumentation(&self) -> Instrumentation {
-        Instrumentation {
-            trace_out: self.trace_out.clone(),
-            gauge_period_ms: self.gauge_period_ms,
-            scenario: self.scenario.clone(),
-        }
-    }
-
-    /// The simulation parameters this invocation asks for. `default_pop`
-    /// is the population used at paper scale when none is given.
-    pub fn params(&self, default_pop: usize) -> SimParams {
-        let mut p = match self.scale {
-            Scale::Paper => SimParams::paper_defaults(self.population.unwrap_or(default_pop)),
-            Scale::Quick => {
-                let horizon = 2 * 3_600_000;
-                let mut p = SimParams::quick(self.population.unwrap_or(300), horizon);
-                p.mean_uptime_ms = horizon / 4;
-                p.query_period_ms = p.mean_uptime_ms / 12;
-                p.gossip_period_ms = p.mean_uptime_ms;
-                p.catalog.websites = 10;
-                p.catalog.active_websites = 3;
-                p.catalog.objects_per_site = 200;
-                p
-            }
-        };
-        if let Some(seed) = self.seed {
-            p.seed = seed;
-        }
-        p
-    }
-
-    /// Where result CSVs go.
-    pub fn results_dir(&self) -> std::path::PathBuf {
-        std::path::PathBuf::from("results")
-    }
-}
+pub use comparison::{run_comparison_sweep, ComparisonOut, SystemOut};
+pub use opts::{HarnessOpts, HarnessOptsBuilder, OptsError, Scale, USAGE};
+pub use scenarios::canned_resilience_scenario;
 
 /// Pretty hour-by-hour label for a series point.
 pub fn fmt_hours(h: f64) -> String {
     format!("{h:.1}")
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn paper_scale_params_match_table1() {
-        let opts = HarnessOpts {
-            scale: Scale::Paper,
-            population: None,
-            seed: None,
-            trace_out: None,
-            gauge_period_ms: None,
-            scenario: None,
-            assert_recovery: false,
-        };
-        let p = opts.params(3_000);
-        assert_eq!(p.population, 3_000);
-        assert_eq!(p.horizon_ms, 24 * 3_600_000);
-        assert_eq!(p.catalog.websites, 100);
-    }
-
-    #[test]
-    fn overrides_apply() {
-        let opts = HarnessOpts {
-            scale: Scale::Quick,
-            population: Some(123),
-            seed: Some(9),
-            trace_out: None,
-            gauge_period_ms: None,
-            scenario: None,
-            assert_recovery: false,
-        };
-        let p = opts.params(3_000);
-        assert_eq!(p.population, 123);
-        assert_eq!(p.seed, 9);
-        assert!(p.horizon_ms < 24 * 3_600_000);
+/// `mean ±stddev` when a cell aggregated several seeds, plain mean
+/// otherwise — for the binaries' ASCII tables.
+pub fn fmt_mean_spread(agg: &sweep::MetricAgg, precision: usize) -> String {
+    if agg.n > 1 {
+        format!("{:.p$} ±{:.p$}", agg.mean, agg.stddev, p = precision)
+    } else {
+        format!("{:.p$}", agg.mean, p = precision)
     }
 }

@@ -1,0 +1,452 @@
+//! Harness option parsing: one flag vocabulary for every binary.
+//!
+//! [`HarnessOpts::from_args`] is the fallible core — it returns
+//! `Result` so tests (and future tooling) can exercise bad input
+//! without spawning a process — and [`HarnessOpts::parse`] is the thin
+//! process-exiting wrapper the binaries call. Programmatic construction
+//! goes through [`HarnessOpts::builder`].
+
+use std::path::PathBuf;
+
+use flower_cdn::{Instrumentation, SimParams};
+
+/// Scale selection for a harness run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Table 1 of the paper.
+    Paper,
+    /// Reduced scale for smoke tests.
+    Quick,
+}
+
+/// The usage message shared by every harness binary.
+pub const USAGE: &str = "usage: <bin> [flags]
+  --quick              reduced-scale run (minutes of virtual time)
+  --smoke              tiny grid for CI (consumed by the sweep binary)
+  --population N       override the mean population
+  --seed N             override the RNG seed (single run)
+  --seeds SPEC         run every seed in SPEC: 'a,b,c' or 'start..end'
+  --jobs N             worker threads for multi-run harnesses
+                       (default: available cores; results never depend on it)
+  --out DIR            write result files under DIR (default: results/)
+  --trace-out PATH     stream simulation events as JSON lines to PATH
+  --gauges MS          sample live gauges every MS of virtual time
+  --scenario FILE      apply a chaos fault schedule to every system
+  --assert-recovery    turn the resilience report into hard assertions
+  --help               print this message";
+
+/// What went wrong while parsing the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptsError {
+    /// `--help` was requested: print usage, exit 0.
+    Help,
+    /// A flag was unknown, malformed, or missing its value.
+    Invalid(String),
+}
+
+impl std::fmt::Display for OptsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptsError::Help => write!(f, "{USAGE}"),
+            OptsError::Invalid(msg) => write!(f, "{msg}\n{USAGE}"),
+        }
+    }
+}
+
+impl std::error::Error for OptsError {}
+
+/// Command-line options shared by every harness binary.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    pub scale: Scale,
+    pub population: Option<usize>,
+    pub seed: Option<u64>,
+    /// Explicit seed list (`--seeds`); takes precedence over `--seed`.
+    pub seeds: Option<Vec<u64>>,
+    /// Worker threads for multi-run harnesses (`--jobs`).
+    pub jobs: Option<usize>,
+    /// Result-file directory override (`--out`).
+    pub out_dir: Option<PathBuf>,
+    /// JSONL trace destination (`--trace-out`).
+    pub trace_out: Option<PathBuf>,
+    /// Gauge sampling period in virtual ms (`--gauges`).
+    pub gauge_period_ms: Option<u64>,
+    /// Fault schedule to apply to every system (`--scenario`).
+    pub scenario: Option<flower_cdn::Scenario>,
+    /// Fail the process unless the run demonstrates recovery
+    /// (`--assert-recovery`; consumed by the `resilience` binary, where it
+    /// turns the printed resilience report into hard assertions for CI).
+    pub assert_recovery: bool,
+    /// Tiny-grid CI mode (`--smoke`; consumed by the `sweep` binary).
+    pub smoke: bool,
+}
+
+/// Builder for [`HarnessOpts`]: start from defaults, layer programmatic
+/// overrides and/or command-line arguments, then [`build`](Self::build).
+#[derive(Debug, Clone)]
+pub struct HarnessOptsBuilder {
+    opts: HarnessOpts,
+}
+
+impl Default for HarnessOptsBuilder {
+    fn default() -> Self {
+        HarnessOptsBuilder {
+            opts: HarnessOpts {
+                scale: Scale::Paper,
+                population: None,
+                seed: None,
+                seeds: None,
+                jobs: None,
+                out_dir: None,
+                trace_out: None,
+                gauge_period_ms: None,
+                scenario: None,
+                assert_recovery: false,
+                smoke: false,
+            },
+        }
+    }
+}
+
+impl HarnessOptsBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn scale(mut self, scale: Scale) -> Self {
+        self.opts.scale = scale;
+        self
+    }
+
+    pub fn population(mut self, population: usize) -> Self {
+        self.opts.population = Some(population);
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.opts.seed = Some(seed);
+        self
+    }
+
+    pub fn seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.opts.seeds = Some(seeds);
+        self
+    }
+
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.opts.jobs = Some(jobs);
+        self
+    }
+
+    pub fn out_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.opts.out_dir = Some(dir.into());
+        self
+    }
+
+    /// Fold command-line tokens (without the program name) into the
+    /// builder. Unknown or malformed flags yield an error carrying the
+    /// usage message instead of aborting the process.
+    pub fn args<I, S>(mut self, args: I) -> Result<Self, OptsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut args = args.into_iter().map(Into::into);
+        fn value(
+            args: &mut impl Iterator<Item = String>,
+            flag: &str,
+            what: &str,
+        ) -> Result<String, OptsError> {
+            args.next()
+                .ok_or_else(|| OptsError::Invalid(format!("{flag} needs {what}")))
+        }
+        fn number<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, OptsError> {
+            raw.parse()
+                .map_err(|_| OptsError::Invalid(format!("{flag}: {raw:?} is not a valid number")))
+        }
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => self.opts.scale = Scale::Quick,
+                "--smoke" => self.opts.smoke = true,
+                "--population" => {
+                    let v = value(&mut args, "--population", "a value")?;
+                    self.opts.population = Some(number(&v, "--population")?);
+                }
+                "--seed" => {
+                    let v = value(&mut args, "--seed", "a value")?;
+                    self.opts.seed = Some(number(&v, "--seed")?);
+                }
+                "--seeds" => {
+                    let v = value(&mut args, "--seeds", "a list 'a,b,c' or range 'start..end'")?;
+                    self.opts.seeds = Some(parse_seeds(&v).map_err(OptsError::Invalid)?);
+                }
+                "--jobs" => {
+                    let v = value(&mut args, "--jobs", "a thread count")?;
+                    let n: usize = number(&v, "--jobs")?;
+                    if n == 0 {
+                        return Err(OptsError::Invalid("--jobs must be at least 1".into()));
+                    }
+                    self.opts.jobs = Some(n);
+                }
+                "--out" => {
+                    let v = value(&mut args, "--out", "a directory")?;
+                    self.opts.out_dir = Some(v.into());
+                }
+                "--trace-out" => {
+                    let v = value(&mut args, "--trace-out", "a path")?;
+                    self.opts.trace_out = Some(v.into());
+                }
+                "--gauges" => {
+                    let v = value(&mut args, "--gauges", "a period in ms")?;
+                    self.opts.gauge_period_ms = Some(number(&v, "--gauges")?);
+                }
+                "--scenario" => {
+                    let v = value(&mut args, "--scenario", "a file path")?;
+                    let sc = flower_cdn::Scenario::load(&v)
+                        .map_err(|e| OptsError::Invalid(format!("bad scenario {v:?}: {e}")))?;
+                    self.opts.scenario = Some(sc);
+                }
+                "--assert-recovery" => self.opts.assert_recovery = true,
+                "--help" | "-h" => return Err(OptsError::Help),
+                other => {
+                    return Err(OptsError::Invalid(format!(
+                        "unknown flag {other}; try --help"
+                    )))
+                }
+            }
+        }
+        Ok(self)
+    }
+
+    pub fn build(self) -> HarnessOpts {
+        self.opts
+    }
+}
+
+/// Parse a `--seeds` spec: either a comma list `3,5,8` or a half-open
+/// range `10..15` (which expands to 10,11,12,13,14).
+pub fn parse_seeds(spec: &str) -> Result<Vec<u64>, String> {
+    if let Some((a, b)) = spec.split_once("..") {
+        let start: u64 = a
+            .trim()
+            .parse()
+            .map_err(|_| format!("--seeds: bad range start {a:?}"))?;
+        let end: u64 = b
+            .trim()
+            .parse()
+            .map_err(|_| format!("--seeds: bad range end {b:?}"))?;
+        if end <= start {
+            return Err(format!(
+                "--seeds: range {spec:?} is empty (end must exceed start)"
+            ));
+        }
+        Ok((start..end).collect())
+    } else {
+        let seeds: Vec<u64> = spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seeds: bad seed {s:?}"))
+            })
+            .collect::<Result<_, _>>()?;
+        if seeds.is_empty() {
+            return Err("--seeds: need at least one seed".into());
+        }
+        Ok(seeds)
+    }
+}
+
+impl HarnessOpts {
+    pub fn builder() -> HarnessOptsBuilder {
+        HarnessOptsBuilder::new()
+    }
+
+    /// Parse explicit argument tokens (no program name). The fallible
+    /// core behind [`HarnessOpts::parse`].
+    pub fn from_args<I, S>(args: I) -> Result<HarnessOpts, OptsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Ok(HarnessOptsBuilder::new().args(args)?.build())
+    }
+
+    /// Parse from `std::env::args`, printing usage and exiting on bad
+    /// flags (exit 2) or `--help` (exit 0).
+    pub fn parse() -> HarnessOpts {
+        match Self::from_args(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(OptsError::Help) => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            Err(err) => {
+                eprintln!("{err}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The instrumentation this invocation asks for, in the form the
+    /// experiment drivers accept.
+    pub fn instrumentation(&self) -> Instrumentation {
+        Instrumentation {
+            trace_out: self.trace_out.clone(),
+            gauge_period_ms: self.gauge_period_ms,
+            scenario: self.scenario.clone(),
+        }
+    }
+
+    /// The simulation parameters this invocation asks for. `default_pop`
+    /// is the population used at paper scale when none is given.
+    pub fn params(&self, default_pop: usize) -> SimParams {
+        let mut p = match self.scale {
+            Scale::Paper => SimParams::paper_defaults(self.population.unwrap_or(default_pop)),
+            Scale::Quick => {
+                let horizon = 2 * 3_600_000;
+                let mut p = SimParams::quick(self.population.unwrap_or(300), horizon);
+                p.mean_uptime_ms = horizon / 4;
+                p.query_period_ms = p.mean_uptime_ms / 12;
+                p.gossip_period_ms = p.mean_uptime_ms;
+                p.catalog.websites = 10;
+                p.catalog.active_websites = 3;
+                p.catalog.objects_per_site = 200;
+                p
+            }
+        };
+        if let Some(seed) = self.seed {
+            p.seed = seed;
+        }
+        p
+    }
+
+    /// The seed list this invocation sweeps: explicit `--seeds` wins,
+    /// else the single `--seed` (or `fallback` when neither is given).
+    pub fn seed_list(&self, fallback: u64) -> Vec<u64> {
+        match &self.seeds {
+            Some(seeds) => seeds.clone(),
+            None => vec![self.seed.unwrap_or(fallback)],
+        }
+    }
+
+    /// Like [`seed_list`](Self::seed_list) but defaulting to `n`
+    /// consecutive seeds — for harnesses (the sweep binary) whose normal
+    /// mode is multi-seed.
+    pub fn seed_list_n(&self, base: u64, n: usize) -> Vec<u64> {
+        match &self.seeds {
+            Some(seeds) => seeds.clone(),
+            None => {
+                let base = self.seed.unwrap_or(base);
+                (base..base + n as u64).collect()
+            }
+        }
+    }
+
+    /// Worker-thread count: `--jobs`, defaulting to available cores.
+    pub fn jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(sweep::default_jobs)
+    }
+
+    /// Orchestrator options for this invocation. Traces are routed by the
+    /// individual harnesses (they keep the single-run `--trace-out` file
+    /// semantics), so `trace_dir` stays unset here.
+    pub fn sweep_opts(&self) -> sweep::SweepOpts {
+        sweep::SweepOpts {
+            jobs: self.jobs(),
+            gauge_period_ms: self.gauge_period_ms,
+            trace_dir: None,
+            progress: true,
+        }
+    }
+
+    /// Where result CSVs go.
+    pub fn results_dir(&self) -> PathBuf {
+        self.out_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("results"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_params_match_table1() {
+        let opts = HarnessOpts::builder().build();
+        let p = opts.params(3_000);
+        assert_eq!(p.population, 3_000);
+        assert_eq!(p.horizon_ms, 24 * 3_600_000);
+        assert_eq!(p.catalog.websites, 100);
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let opts = HarnessOpts::builder()
+            .scale(Scale::Quick)
+            .population(123)
+            .seed(9)
+            .build();
+        let p = opts.params(3_000);
+        assert_eq!(p.population, 123);
+        assert_eq!(p.seed, 9);
+        assert!(p.horizon_ms < 24 * 3_600_000);
+    }
+
+    #[test]
+    fn args_parse_the_new_flags() {
+        let opts = HarnessOpts::from_args(["--quick", "--jobs", "3", "--seeds", "4,5,6"]).unwrap();
+        assert_eq!(opts.scale, Scale::Quick);
+        assert_eq!(opts.jobs, Some(3));
+        assert_eq!(opts.seeds, Some(vec![4, 5, 6]));
+        assert_eq!(opts.seed_list(0), vec![4, 5, 6]);
+        assert_eq!(opts.jobs(), 3);
+    }
+
+    #[test]
+    fn bad_flags_are_errors_not_aborts() {
+        assert!(matches!(
+            HarnessOpts::from_args(["--population", "many"]),
+            Err(OptsError::Invalid(_))
+        ));
+        assert!(matches!(
+            HarnessOpts::from_args(["--frobnicate"]),
+            Err(OptsError::Invalid(_))
+        ));
+        assert!(matches!(
+            HarnessOpts::from_args(["--jobs"]),
+            Err(OptsError::Invalid(_))
+        ));
+        assert!(matches!(
+            HarnessOpts::from_args(["--jobs", "0"]),
+            Err(OptsError::Invalid(_))
+        ));
+        assert!(matches!(
+            HarnessOpts::from_args(["--help"]),
+            Err(OptsError::Help)
+        ));
+        let msg = OptsError::Invalid("unknown flag --x".into()).to_string();
+        assert!(msg.contains("usage:"), "errors carry the usage text");
+    }
+
+    #[test]
+    fn seed_specs_expand() {
+        assert_eq!(parse_seeds("1,2,9").unwrap(), vec![1, 2, 9]);
+        assert_eq!(parse_seeds("10..13").unwrap(), vec![10, 11, 12]);
+        assert!(parse_seeds("5..5").is_err());
+        assert!(parse_seeds("a,b").is_err());
+    }
+
+    #[test]
+    fn seed_list_precedence() {
+        let explicit = HarnessOpts::builder().seed(7).seeds(vec![1, 2]).build();
+        assert_eq!(explicit.seed_list(0), vec![1, 2]);
+        let single = HarnessOpts::builder().seed(7).build();
+        assert_eq!(single.seed_list(0), vec![7]);
+        assert_eq!(single.seed_list_n(1, 3), vec![7, 8, 9]);
+        let neither = HarnessOpts::builder().build();
+        assert_eq!(neither.seed_list(42), vec![42]);
+        assert_eq!(neither.seed_list_n(1, 3), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,86 @@
+//! The unified simulation-driver surface.
+//!
+//! [`FlowerSim`](crate::engine::FlowerSim) and
+//! [`SquirrelSim`](crate::squirrel::SquirrelSim) grew the same driver
+//! methods twice — run, instrument, inject faults, collect results. The
+//! [`SimDriver`] trait is that surface extracted once, so experiment
+//! drivers, the bench binaries and the `sweep` orchestrator can be written
+//! against *a simulation* rather than against each system separately.
+//!
+//! The trait is object-safe for everything a harness needs mid-setup
+//! (`&mut dyn SimDriver` works for attaching sinks, gauges and scenarios);
+//! only the consuming `finish`/`run` and the sugar `add_trace_sink` are
+//! `Self: Sized`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cdn_metrics::GaugeRegistry;
+use simnet::{Time, TraceSink};
+
+use crate::config::SimParams;
+use crate::engine::RunResult;
+
+/// Common driver surface of a single-threaded deterministic simulation.
+///
+/// A driver is built from [`SimParams`] (plus system-specific extras),
+/// optionally customized — trace sinks, gauges, a fault scenario — and
+/// then run to its horizon. The contract every implementation upholds:
+///
+/// * **Determinism** — the same `(params, scenario, sink/gauge set)`
+///   reproduces the same [`RunResult`] byte for byte, on any thread.
+/// * **Self-containment** — the simulation shares nothing mutable with
+///   other instances; building and running it wholly inside one worker
+///   thread is always safe.
+/// * **Setup order** — customizations apply before `run`/`run_until`
+///   advances time past the first event.
+pub trait SimDriver {
+    /// The parameters this simulation was built from.
+    fn params(&self) -> &SimParams;
+
+    /// Current virtual time.
+    fn now(&self) -> Time;
+
+    /// Live peers right now.
+    fn live_population(&self) -> usize;
+
+    /// Advance virtual time to `t` (tests and time-sliced experiments).
+    fn run_until(&mut self, t: Time);
+
+    /// Schedule every fault of `scenario` into the run. Applying the same
+    /// scenario to the same seed reproduces the run byte for byte.
+    fn apply_scenario(&mut self, scenario: &chaos::Scenario);
+
+    /// Attach a structured trace sink. Already-materialized world state
+    /// (the t=0 population, held directory positions) is replayed into the
+    /// sink first so stateful sinks start from a consistent picture.
+    fn add_trace_sink_boxed(&mut self, sink: Box<dyn TraceSink>);
+
+    /// Turn on periodic gauge sampling with this period of virtual time.
+    /// Returns a live handle to the registry; [`RunResult::gauges`]
+    /// carries the same series after `finish`.
+    fn enable_gauges(&mut self, period_ms: u64) -> Rc<RefCell<GaugeRegistry>>;
+
+    /// Consume the simulation and aggregate everything it produced.
+    fn finish(self) -> RunResult
+    where
+        Self: Sized;
+
+    /// Run to the configured horizon and collect results.
+    fn run(mut self) -> RunResult
+    where
+        Self: Sized,
+    {
+        let horizon = Time::from_millis(self.params().horizon_ms);
+        self.run_until(horizon);
+        self.finish()
+    }
+
+    /// Sugar over [`SimDriver::add_trace_sink_boxed`] for concrete sims.
+    fn add_trace_sink(&mut self, sink: impl TraceSink + 'static)
+    where
+        Self: Sized,
+    {
+        self.add_trace_sink_boxed(Box::new(sink));
+    }
+}

@@ -131,6 +131,25 @@ impl RunResult {
         }
     }
 
+    /// The schema-stable scalar summary of this run — what the sweep
+    /// orchestrator aggregates and the bench binaries serialize (one CSV /
+    /// JSON shape for every system; see [`cdn_metrics::RunSummary`]).
+    pub fn summary(&self) -> cdn_metrics::RunSummary {
+        cdn_metrics::RunSummary {
+            queries: self.stats.queries,
+            hits: self.stats.hits,
+            hit_ratio: self.stats.hit_ratio(),
+            mean_lookup_ms: self.stats.mean_lookup_ms(),
+            mean_transfer_ms: self.stats.mean_transfer_ms(),
+            mean_dht_hops: self.stats.mean_dht_hops(),
+            messages_delivered: self.messages_delivered,
+            messages_per_query: self.messages_per_query(),
+            replacements: self.replacements,
+            splits: self.splits,
+            peak_population: self.peak_population as u64,
+        }
+    }
+
     fn from_reports(
         records: Vec<QueryRecord>,
         replacements: u64,
@@ -289,71 +308,7 @@ impl FlowerSim {
         }
     }
 
-    /// Schedule every fault of `scenario` into the run. Faults execute in
-    /// the engine's control handler at their `at_ms`; auto-heal / revert
-    /// tails (`heal-after`, `for`) are scheduled when the fault fires.
-    /// Call before `run`/`run_until`; applying the same scenario to the
-    /// same seed reproduces the run byte for byte.
-    pub fn apply_scenario(&mut self, scenario: &chaos::Scenario) {
-        for f in scenario.iter() {
-            self.world
-                .schedule_control(Time::from_millis(f.at_ms), Control::Chaos(f.action.clone()));
-        }
-    }
-
-    /// Attach a structured trace sink to the underlying world. Because
-    /// `new()` has already spawned the initial D-ring by the time a sink
-    /// can be attached, the current world state is replayed into the sink
-    /// first (one `NodeSpawn` per live node, then one `became_directory`
-    /// per held position), so stateful sinks such as the invariant checker
-    /// start from a consistent picture.
-    pub fn add_trace_sink(&mut self, mut sink: impl TraceSink + 'static) {
-        let now = self.world.now();
-        for (id, _) in self.world.live_nodes() {
-            let locality = self.world.topology().locality(id);
-            sink.event(now, &simnet::TraceEvent::NodeSpawn { node: id, locality });
-        }
-        for (id, pos, _) in self.directories() {
-            let mut fields = crate::tags::pos_fields(pos);
-            fields.push(("replacement", false.into()));
-            fields.push(("replayed", true.into()));
-            sink.event(
-                now,
-                &simnet::TraceEvent::Custom {
-                    node: id,
-                    name: crate::tags::BECAME_DIRECTORY,
-                    fields,
-                },
-            );
-        }
-        self.world.add_trace_sink(Box::new(sink));
-    }
-
-    /// Turn on periodic gauge sampling: every `period_ms` of virtual time
-    /// the engine records live population, D-ring size, petal size
-    /// statistics and per-class message rates. Returns a handle to the
-    /// registry; [`RunResult::gauges`] carries the same series after
-    /// `finish()`.
-    pub fn enable_gauges(&mut self, period_ms: u64) -> Rc<RefCell<GaugeRegistry>> {
-        let counts = ClassCountSink::new();
-        self.world.add_trace_sink(Box::new(counts.clone()));
-        let state = GaugeState::new(period_ms, counts);
-        let registry = Rc::clone(&state.registry);
-        self.world
-            .schedule_control(self.world.now() + period_ms, Control::Sample);
-        self.gauges = Some(state);
-        registry
-    }
-
-    /// Run to the configured horizon and collect results.
-    pub fn run(mut self) -> RunResult {
-        let horizon = Time::from_millis(self.params.horizon_ms);
-        self.run_until(horizon);
-        self.finish()
-    }
-
-    /// Run to an intermediate point (tests and time-sliced experiments).
-    pub fn run_until(&mut self, t: Time) {
+    fn run_until_inner(&mut self, t: Time) {
         let catalog = Rc::clone(&self.catalog);
         let params = Rc::clone(&self.params);
         let bootstrap = Rc::clone(&self.bootstrap);
@@ -411,16 +366,6 @@ impl FlowerSim {
         });
         self.engine_rng = rng;
         self.gauges = gauges;
-    }
-
-    /// Current virtual time.
-    pub fn now(&self) -> Time {
-        self.world.now()
-    }
-
-    /// Live peers right now.
-    pub fn live_population(&self) -> usize {
-        self.world.live_count()
     }
 
     /// Live directory peers right now.
@@ -503,8 +448,7 @@ impl FlowerSim {
         self.world.drain_reports()
     }
 
-    /// Consume the simulation and aggregate everything.
-    pub fn finish(mut self) -> RunResult {
+    fn finish_inner(mut self) -> RunResult {
         self.world.flush_trace_sinks();
         let peak = self.world.live_count();
         let messages = self.world.stats().delivered;
@@ -542,6 +486,88 @@ impl FlowerSim {
     }
 }
 
+impl crate::driver::SimDriver for FlowerSim {
+    fn params(&self) -> &SimParams {
+        &self.params
+    }
+
+    /// Current virtual time.
+    fn now(&self) -> Time {
+        self.world.now()
+    }
+
+    /// Live peers right now.
+    fn live_population(&self) -> usize {
+        self.world.live_count()
+    }
+
+    /// Run to an intermediate point (tests and time-sliced experiments).
+    fn run_until(&mut self, t: Time) {
+        self.run_until_inner(t);
+    }
+
+    /// Schedule every fault of `scenario` into the run. Faults execute in
+    /// the engine's control handler at their `at_ms`; auto-heal / revert
+    /// tails (`heal-after`, `for`) are scheduled when the fault fires.
+    /// Call before `run`/`run_until`; applying the same scenario to the
+    /// same seed reproduces the run byte for byte.
+    fn apply_scenario(&mut self, scenario: &chaos::Scenario) {
+        for f in scenario.iter() {
+            self.world
+                .schedule_control(Time::from_millis(f.at_ms), Control::Chaos(f.action.clone()));
+        }
+    }
+
+    /// Attach a structured trace sink to the underlying world. Because
+    /// `new()` has already spawned the initial D-ring by the time a sink
+    /// can be attached, the current world state is replayed into the sink
+    /// first (one `NodeSpawn` per live node, then one `became_directory`
+    /// per held position), so stateful sinks such as the invariant checker
+    /// start from a consistent picture.
+    fn add_trace_sink_boxed(&mut self, mut sink: Box<dyn TraceSink>) {
+        let now = self.world.now();
+        for (id, _) in self.world.live_nodes() {
+            let locality = self.world.topology().locality(id);
+            sink.event(now, &simnet::TraceEvent::NodeSpawn { node: id, locality });
+        }
+        for (id, pos, _) in self.directories() {
+            let mut fields = crate::tags::pos_fields(pos);
+            fields.push(("replacement", false.into()));
+            fields.push(("replayed", true.into()));
+            sink.event(
+                now,
+                &simnet::TraceEvent::Custom {
+                    node: id,
+                    name: crate::tags::BECAME_DIRECTORY,
+                    fields,
+                },
+            );
+        }
+        self.world.add_trace_sink(sink);
+    }
+
+    /// Turn on periodic gauge sampling: every `period_ms` of virtual time
+    /// the engine records live population, D-ring size, petal size
+    /// statistics and per-class message rates. Returns a handle to the
+    /// registry; [`RunResult::gauges`] carries the same series after
+    /// `finish()`.
+    fn enable_gauges(&mut self, period_ms: u64) -> Rc<RefCell<GaugeRegistry>> {
+        let counts = ClassCountSink::new();
+        self.world.add_trace_sink(Box::new(counts.clone()));
+        let state = GaugeState::new(period_ms, counts);
+        let registry = Rc::clone(&state.registry);
+        self.world
+            .schedule_control(self.world.now() + period_ms, Control::Sample);
+        self.gauges = Some(state);
+        registry
+    }
+
+    /// Consume the simulation and aggregate everything.
+    fn finish(self) -> RunResult {
+        self.finish_inner()
+    }
+}
+
 /// One gauge sample of a Flower-CDN world: population, D-ring size, petal
 /// size statistics, and per-class delivery rates.
 fn sample_flower_gauges(g: &mut GaugeState, world: &World<FlowerPeer, Control>) {
@@ -550,6 +576,7 @@ fn sample_flower_gauges(g: &mut GaugeState, world: &World<FlowerPeer, Control>) 
     let mut dirs = 0usize;
     let mut petal_total = 0usize;
     let mut petal_max = 0usize;
+    let mut instance_max = 0u32;
     for (_, p) in world.live_nodes() {
         pop += 1;
         if p.is_directory() {
@@ -557,11 +584,15 @@ fn sample_flower_gauges(g: &mut GaugeState, world: &World<FlowerPeer, Control>) 
             let load = p.directory_load().unwrap_or(0);
             petal_total += load;
             petal_max = petal_max.max(load);
+            if let Some(pos) = p.directory_position() {
+                instance_max = instance_max.max(pos.instance);
+            }
         }
     }
     g.record("population", at, pop as f64);
     g.record("dring_size", at, dirs as f64);
     g.record("petal_size_max", at, petal_max as f64);
+    g.record("instance_depth_max", at, f64::from(instance_max));
     let mean = if dirs == 0 {
         0.0
     } else {
@@ -651,6 +682,7 @@ fn apply_flower_chaos(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::driver::SimDriver;
 
     #[test]
     fn quick_run_produces_hits_and_keeps_population() {

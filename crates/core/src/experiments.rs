@@ -11,11 +11,12 @@
 use cdn_metrics::{fig4_lookup_edges, fig5_transfer_edges, Histogram, HitRatioSeries, QueryRecord};
 
 use crate::config::SimParams;
+use crate::driver::SimDriver;
 use crate::engine::{FlowerSim, RunResult};
 use crate::squirrel::{SquirrelMode, SquirrelSim};
 
 /// Which system a result row belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum System {
     FlowerCdn,
     Squirrel,
@@ -28,6 +29,35 @@ impl System {
             System::Squirrel => "Squirrel",
         }
     }
+}
+
+/// Build the simulation for `system`, let `customize` attach sinks /
+/// gauges / scenarios through the [`SimDriver`] surface, run it to the
+/// horizon and collect the results. This is the single entry point every
+/// harness and the sweep orchestrator funnel through — no caller needs
+/// the concrete sim types.
+pub fn run_system_with(
+    system: System,
+    params: SimParams,
+    customize: impl FnOnce(&mut dyn SimDriver),
+) -> RunResult {
+    match system {
+        System::FlowerCdn => {
+            let mut sim = FlowerSim::new(params);
+            customize(&mut sim);
+            sim.run()
+        }
+        System::Squirrel => {
+            let mut sim = SquirrelSim::new(params, SquirrelMode::Directory);
+            customize(&mut sim);
+            sim.run()
+        }
+    }
+}
+
+/// [`run_system_with`] without customization.
+pub fn run_system(system: System, params: SimParams) -> RunResult {
+    run_system_with(system, params, |_| {})
 }
 
 /// Both systems run under the same parameters.
@@ -53,24 +83,24 @@ pub struct Instrumentation {
 }
 
 impl Instrumentation {
-    fn apply_flower(&self, sim: &mut FlowerSim) {
-        if let Some(path) = &self.trace_out {
-            let w = cdn_metrics::JsonlTraceWriter::create(path).expect("create trace file");
-            sim.add_trace_sink(w);
-        }
-        if let Some(period) = self.gauge_period_ms {
-            sim.enable_gauges(period);
-        }
-        if let Some(sc) = &self.scenario {
-            sim.apply_scenario(sc);
-        }
+    /// Where this invocation's trace stream for `system` lands: the
+    /// Flower-CDN run gets `trace_out` itself, the Squirrel run a
+    /// `.squirrel.jsonl` sibling.
+    pub fn trace_path(&self, system: System) -> Option<std::path::PathBuf> {
+        self.trace_out.as_ref().map(|path| match system {
+            System::FlowerCdn => path.clone(),
+            System::Squirrel => path.with_extension("squirrel.jsonl"),
+        })
     }
 
-    fn apply_squirrel(&self, sim: &mut SquirrelSim) {
-        if let Some(path) = &self.trace_out {
-            let sibling = path.with_extension("squirrel.jsonl");
-            let w = cdn_metrics::JsonlTraceWriter::create(sibling).expect("create trace file");
-            sim.add_trace_sink(w);
+    /// Attach everything this instrumentation asks for to one simulation,
+    /// through the [`SimDriver`] surface (system-agnostic). Order —
+    /// trace sink, gauges, scenario — is part of the determinism contract:
+    /// every code path that sets up a run applies in this order.
+    pub fn apply(&self, sim: &mut dyn SimDriver, system: System) {
+        if let Some(path) = self.trace_path(system) {
+            let w = cdn_metrics::JsonlTraceWriter::create(path).expect("create trace file");
+            sim.add_trace_sink_boxed(Box::new(w));
         }
         if let Some(period) = self.gauge_period_ms {
             sim.enable_gauges(period);
@@ -95,14 +125,14 @@ pub fn run_comparison_instrumented(params: SimParams, inst: Instrumentation) -> 
         let inst_f = inst.clone();
         let inst_s = inst;
         let hf = s.spawn(move || {
-            let mut sim = FlowerSim::new(pf);
-            inst_f.apply_flower(&mut sim);
-            sim.run()
+            run_system_with(System::FlowerCdn, pf, |sim| {
+                inst_f.apply(sim, System::FlowerCdn)
+            })
         });
         let hs = s.spawn(move || {
-            let mut sim = SquirrelSim::new(ps, SquirrelMode::Directory);
-            inst_s.apply_squirrel(&mut sim);
-            sim.run()
+            run_system_with(System::Squirrel, ps, |sim| {
+                inst_s.apply(sim, System::Squirrel)
+            })
         });
         (
             hf.join().expect("flower run"),
@@ -147,49 +177,6 @@ pub fn transfer_histogram(records: &[QueryRecord]) -> Histogram {
     h
 }
 
-/// One row of Table 2.
-#[derive(Debug, Clone)]
-pub struct Table2Row {
-    pub population: usize,
-    pub system: System,
-    pub hit_ratio: f64,
-    pub mean_lookup_ms: f64,
-    pub mean_transfer_ms: f64,
-}
-
-/// Table 2: the scalability sweep. Runs every (population, system) pair on
-/// its own thread.
-pub fn table2_scalability(base: &SimParams, populations: &[usize]) -> Vec<Table2Row> {
-    let mut rows: Vec<Table2Row> = std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for &p in populations {
-            for system in [System::Squirrel, System::FlowerCdn] {
-                let mut params = base.clone();
-                params.population = p;
-                handles.push(s.spawn(move || {
-                    let result = match system {
-                        System::FlowerCdn => FlowerSim::new(params).run(),
-                        System::Squirrel => SquirrelSim::new(params, SquirrelMode::Directory).run(),
-                    };
-                    Table2Row {
-                        population: p,
-                        system,
-                        hit_ratio: result.stats.hit_ratio(),
-                        mean_lookup_ms: result.stats.mean_lookup_ms(),
-                        mean_transfer_ms: result.stats.mean_transfer_ms(),
-                    }
-                }));
-            }
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("run"))
-            .collect()
-    });
-    rows.sort_by_key(|r| (r.population, r.system != System::Squirrel));
-    rows
-}
-
 /// Maintenance-ablation variant knobs (experiment A2 in DESIGN.md).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MaintenanceVariant {
@@ -203,22 +190,30 @@ pub enum MaintenanceVariant {
     NoGossip,
 }
 
+impl MaintenanceVariant {
+    /// Rewrite `params` so the variant's mechanism can never fire. The
+    /// bench binaries use this to express variants as plain sweep cells.
+    pub fn apply(self, params: &mut SimParams) {
+        match self {
+            MaintenanceVariant::Full => {}
+            MaintenanceVariant::NoPush => {
+                // A threshold above 1.0 can never be crossed: pushes stop.
+                params.push_threshold = f64::INFINITY;
+            }
+            MaintenanceVariant::NoGossip => {
+                // Gossip periods beyond the horizon never fire.
+                params.gossip_period_ms = params.horizon_ms * 10;
+            }
+        }
+    }
+}
+
 /// Run Flower-CDN with parts of the maintenance machinery disabled, to
 /// quantify what each contributes (the paper argues §5 is what keeps the
 /// hit ratio climbing under churn; this measures it).
 pub fn run_maintenance_variant(params: SimParams, variant: MaintenanceVariant) -> RunResult {
     let mut params = params;
-    match variant {
-        MaintenanceVariant::Full => {}
-        MaintenanceVariant::NoPush => {
-            // A threshold above 1.0 can never be crossed: pushes stop.
-            params.push_threshold = f64::INFINITY;
-        }
-        MaintenanceVariant::NoGossip => {
-            // Gossip periods beyond the horizon never fire.
-            params.gossip_period_ms = params.horizon_ms * 10;
-        }
-    }
+    variant.apply(&mut params);
     FlowerSim::new(params).run()
 }
 

@@ -22,7 +22,7 @@
 //!   table of §6.
 //!
 //! ```
-//! use flower_cdn::{FlowerSim, SimParams};
+//! use flower_cdn::{FlowerSim, SimDriver, SimParams};
 //!
 //! // A miniature run: 60 peers, 20 simulated minutes, same protocol stack
 //! // as the paper-scale experiments (SimParams::paper_defaults).
@@ -42,6 +42,7 @@ pub mod config;
 pub mod directory;
 pub mod dirinfo;
 pub mod dring;
+pub mod driver;
 pub mod engine;
 pub mod experiments;
 pub mod invariants;
@@ -61,10 +62,11 @@ pub use config::SimParams;
 pub use directory::{DirectoryIndex, DirectorySnapshot};
 pub use dirinfo::DirInfo;
 pub use dring::DirPosition;
+pub use driver::SimDriver;
 pub use engine::{Control, FlowerSim, RunResult};
 pub use experiments::{
-    run_comparison, run_comparison_instrumented, table2_scalability, ComparisonRun,
-    Instrumentation, System, Table2Row,
+    run_comparison, run_comparison_instrumented, run_system, run_system_with, ComparisonRun,
+    Instrumentation, System,
 };
 pub use invariants::InvariantChecker;
 pub use msg::{FlowerMsg, FlowerTimer, RoutePayload, Summary};

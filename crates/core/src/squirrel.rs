@@ -883,51 +883,7 @@ impl SquirrelSim {
         }
     }
 
-    /// Schedule every fault of `scenario` into the run, mirroring
-    /// [`crate::engine::FlowerSim::apply_scenario`] so both systems face
-    /// the same chaos timeline.
-    pub fn apply_scenario(&mut self, scenario: &chaos::Scenario) {
-        for f in scenario.iter() {
-            self.world.schedule_control(
-                Time::from_millis(f.at_ms),
-                SqControl::Chaos(f.action.clone()),
-            );
-        }
-    }
-
-    /// Attach a structured trace sink to the underlying world. As with
-    /// [`crate::engine::FlowerSim::add_trace_sink`], the already-spawned
-    /// initial population is replayed into the sink first.
-    pub fn add_trace_sink(&mut self, mut sink: impl TraceSink + 'static) {
-        let now = self.world.now();
-        for (id, _) in self.world.live_nodes() {
-            let locality = self.world.topology().locality(id);
-            sink.event(now, &simnet::TraceEvent::NodeSpawn { node: id, locality });
-        }
-        self.world.add_trace_sink(Box::new(sink));
-    }
-
-    /// Turn on periodic gauge sampling, mirroring
-    /// [`crate::engine::FlowerSim::enable_gauges`]: population, joined-ring
-    /// size, home-directory load and per-class message rates.
-    pub fn enable_gauges(&mut self, period_ms: u64) -> Rc<RefCell<GaugeRegistry>> {
-        let counts = ClassCountSink::new();
-        self.world.add_trace_sink(Box::new(counts.clone()));
-        let state = GaugeState::new(period_ms, counts);
-        let registry = Rc::clone(&state.registry);
-        self.world
-            .schedule_control(self.world.now() + period_ms, SqControl::Sample);
-        self.gauges = Some(state);
-        registry
-    }
-
-    pub fn run(mut self) -> RunResult {
-        let horizon = Time::from_millis(self.params.horizon_ms);
-        self.run_until(horizon);
-        self.finish()
-    }
-
-    pub fn run_until(&mut self, t: Time) {
+    fn run_until_inner(&mut self, t: Time) {
         let catalog = Rc::clone(&self.catalog);
         let params = Rc::clone(&self.params);
         let bootstrap = Rc::clone(&self.bootstrap);
@@ -989,10 +945,6 @@ impl SquirrelSim {
         });
         self.engine_rng = rng;
         self.gauges = gauges;
-    }
-
-    pub fn now(&self) -> Time {
-        self.world.now()
     }
 
     /// Manually spawn a client peer interested in `website`, placed in
@@ -1060,10 +1012,6 @@ impl SquirrelSim {
         (ok as f64 / n as f64, stranded, predless)
     }
 
-    pub fn live_population(&self) -> usize {
-        self.world.live_count()
-    }
-
     pub fn world(&self) -> &World<SquirrelPeer, SqControl> {
         &self.world
     }
@@ -1072,7 +1020,7 @@ impl SquirrelSim {
         self.world.drain_reports()
     }
 
-    pub fn finish(mut self) -> RunResult {
+    fn finish_inner(mut self) -> RunResult {
         use crate::peer::ProtocolEvent;
         self.world.flush_trace_sinks();
         let peak = self.world.live_count();
@@ -1117,6 +1065,65 @@ impl SquirrelSim {
             messages_delivered,
             gauges,
         }
+    }
+}
+
+impl crate::driver::SimDriver for SquirrelSim {
+    fn params(&self) -> &SimParams {
+        &self.params
+    }
+
+    fn now(&self) -> Time {
+        self.world.now()
+    }
+
+    fn live_population(&self) -> usize {
+        self.world.live_count()
+    }
+
+    fn run_until(&mut self, t: Time) {
+        self.run_until_inner(t);
+    }
+
+    /// Schedule every fault of `scenario` into the run, mirroring
+    /// Flower-CDN's scheduling so both systems face the same chaos
+    /// timeline.
+    fn apply_scenario(&mut self, scenario: &chaos::Scenario) {
+        for f in scenario.iter() {
+            self.world.schedule_control(
+                Time::from_millis(f.at_ms),
+                SqControl::Chaos(f.action.clone()),
+            );
+        }
+    }
+
+    /// Attach a structured trace sink to the underlying world. As with
+    /// Flower-CDN, the already-spawned initial population is replayed into
+    /// the sink first.
+    fn add_trace_sink_boxed(&mut self, mut sink: Box<dyn TraceSink>) {
+        let now = self.world.now();
+        for (id, _) in self.world.live_nodes() {
+            let locality = self.world.topology().locality(id);
+            sink.event(now, &simnet::TraceEvent::NodeSpawn { node: id, locality });
+        }
+        self.world.add_trace_sink(sink);
+    }
+
+    /// Turn on periodic gauge sampling: population, joined-ring size,
+    /// home-directory load and per-class message rates.
+    fn enable_gauges(&mut self, period_ms: u64) -> Rc<RefCell<GaugeRegistry>> {
+        let counts = ClassCountSink::new();
+        self.world.add_trace_sink(Box::new(counts.clone()));
+        let state = GaugeState::new(period_ms, counts);
+        let registry = Rc::clone(&state.registry);
+        self.world
+            .schedule_control(self.world.now() + period_ms, SqControl::Sample);
+        self.gauges = Some(state);
+        registry
+    }
+
+    fn finish(self) -> RunResult {
+        self.finish_inner()
     }
 }
 
@@ -1242,6 +1249,7 @@ fn sample_squirrel_gauges(g: &mut GaugeState, world: &World<SquirrelPeer, SqCont
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::driver::SimDriver;
 
     #[test]
     fn quick_squirrel_run_produces_queries_and_some_hits() {

@@ -4,6 +4,7 @@
 
 use cdn_metrics::{QueryRecord, ResolvedVia};
 use flower_cdn::experiments::{run_comparison, shape_params};
+use flower_cdn::SimDriver;
 
 fn breakdown(records: &[QueryRecord]) {
     for via in [

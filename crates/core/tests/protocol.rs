@@ -2,7 +2,7 @@
 //! through the engine with manual spawns and a churn-free background —
 //! each test isolates one §3–§5 mechanism.
 
-use flower_cdn::{DirPosition, FlowerSim, InvariantChecker, SimParams};
+use flower_cdn::{DirPosition, FlowerSim, InvariantChecker, SimDriver, SimParams};
 use simnet::{LivenessChecker, LocalityId, Time};
 use workload::WebsiteId;
 

@@ -3,7 +3,7 @@
 //! directory loss on home-node failure (§2, §6.2.1).
 
 use flower_cdn::squirrel::{object_key, SquirrelMode, SquirrelSim};
-use flower_cdn::SimParams;
+use flower_cdn::{SimDriver, SimParams};
 use simnet::{LocalityId, Time};
 use workload::{ObjectId, WebsiteId};
 

@@ -31,6 +31,7 @@ pub mod gauges;
 pub mod histogram;
 pub mod query;
 pub mod report;
+pub mod run_summary;
 pub mod series;
 pub mod trace_jsonl;
 
@@ -38,6 +39,7 @@ pub use gauges::GaugeRegistry;
 pub use histogram::{percentile, Histogram};
 pub use query::{Provider, QueryRecord, QueryStats, ResolvedVia};
 pub use report::{ascii_bars, ascii_lines, ascii_table, Csv};
+pub use run_summary::RunSummary;
 pub use series::HitRatioSeries;
 pub use trace_jsonl::{parse_trace_line, JsonlTraceWriter, TraceLine};
 

@@ -1,0 +1,169 @@
+//! The schema-stable scalar summary of one finished run.
+//!
+//! Every bench binary and the sweep orchestrator serialize run results
+//! through this one type, so the CSV column set, the JSON key set, the
+//! ordering and the float precision are fixed in exactly one place. The
+//! representation is deliberately flat (no nesting, no optional keys):
+//! byte-identical output for identical runs is part of the repo's
+//! determinism contract and is asserted in tests.
+
+use std::fmt::Write as _;
+
+use crate::report::Csv;
+
+/// Scalar metrics of one run, in the fixed schema order of
+/// [`RunSummary::COLUMNS`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    pub queries: u64,
+    pub hits: u64,
+    pub hit_ratio: f64,
+    pub mean_lookup_ms: f64,
+    pub mean_transfer_ms: f64,
+    pub mean_dht_hops: f64,
+    pub messages_delivered: u64,
+    pub messages_per_query: f64,
+    pub replacements: u64,
+    pub splits: u64,
+    pub peak_population: u64,
+}
+
+impl RunSummary {
+    /// Column names, in serialization order. CSV headers, JSON keys and
+    /// [`RunSummary::metrics`] all follow this order.
+    pub const COLUMNS: [&'static str; 11] = [
+        "queries",
+        "hits",
+        "hit_ratio",
+        "mean_lookup_ms",
+        "mean_transfer_ms",
+        "mean_dht_hops",
+        "messages_delivered",
+        "messages_per_query",
+        "replacements",
+        "splits",
+        "peak_population",
+    ];
+
+    /// Every metric as `(name, value)` in schema order — the aggregation
+    /// substrate: mean/stddev/CI are computed over these per-name across
+    /// seeds, so aggregate rows inherit the schema ordering.
+    pub fn metrics(&self) -> [(&'static str, f64); 11] {
+        [
+            ("queries", self.queries as f64),
+            ("hits", self.hits as f64),
+            ("hit_ratio", self.hit_ratio),
+            ("mean_lookup_ms", self.mean_lookup_ms),
+            ("mean_transfer_ms", self.mean_transfer_ms),
+            ("mean_dht_hops", self.mean_dht_hops),
+            ("messages_delivered", self.messages_delivered as f64),
+            ("messages_per_query", self.messages_per_query),
+            ("replacements", self.replacements as f64),
+            ("splits", self.splits as f64),
+            ("peak_population", self.peak_population as f64),
+        ]
+    }
+
+    /// CSV cell per column, fixed precision (counts exact, ratios 6
+    /// decimals, latencies/hops/rates 3 decimals).
+    pub fn csv_fields(&self) -> Vec<String> {
+        vec![
+            self.queries.to_string(),
+            self.hits.to_string(),
+            format!("{:.6}", self.hit_ratio),
+            format!("{:.3}", self.mean_lookup_ms),
+            format!("{:.3}", self.mean_transfer_ms),
+            format!("{:.3}", self.mean_dht_hops),
+            self.messages_delivered.to_string(),
+            format!("{:.3}", self.messages_per_query),
+            self.replacements.to_string(),
+            self.splits.to_string(),
+            self.peak_population.to_string(),
+        ]
+    }
+
+    /// Flat JSON object, keys in schema order, fixed precision (counts as
+    /// integers, floats as in [`RunSummary::csv_fields`]).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        let _ = write!(s, "\"queries\":{}", self.queries);
+        let _ = write!(s, ",\"hits\":{}", self.hits);
+        let _ = write!(s, ",\"hit_ratio\":{:.6}", self.hit_ratio);
+        let _ = write!(s, ",\"mean_lookup_ms\":{:.3}", self.mean_lookup_ms);
+        let _ = write!(s, ",\"mean_transfer_ms\":{:.3}", self.mean_transfer_ms);
+        let _ = write!(s, ",\"mean_dht_hops\":{:.3}", self.mean_dht_hops);
+        let _ = write!(s, ",\"messages_delivered\":{}", self.messages_delivered);
+        let _ = write!(s, ",\"messages_per_query\":{:.3}", self.messages_per_query);
+        let _ = write!(s, ",\"replacements\":{}", self.replacements);
+        let _ = write!(s, ",\"splits\":{}", self.splits);
+        let _ = write!(s, ",\"peak_population\":{}", self.peak_population);
+        s.push('}');
+        s
+    }
+
+    /// A [`Csv`] whose header is `prefix ++ COLUMNS` — the one way every
+    /// binary builds a per-run results file.
+    pub fn csv_with_prefix(prefix: &[&str]) -> Csv {
+        let mut header: Vec<&str> = prefix.to_vec();
+        header.extend_from_slice(&Self::COLUMNS);
+        Csv::new(&header)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunSummary {
+        RunSummary {
+            queries: 1000,
+            hits: 640,
+            hit_ratio: 0.64,
+            mean_lookup_ms: 151.25,
+            mean_transfer_ms: 88.5,
+            mean_dht_hops: 2.75,
+            messages_delivered: 123456,
+            messages_per_query: 123.456,
+            replacements: 7,
+            splits: 2,
+            peak_population: 311,
+        }
+    }
+
+    #[test]
+    fn columns_fields_and_metrics_agree_in_order_and_width() {
+        let s = sample();
+        assert_eq!(s.csv_fields().len(), RunSummary::COLUMNS.len());
+        let names: Vec<&str> = s.metrics().iter().map(|&(n, _)| n).collect();
+        assert_eq!(names, RunSummary::COLUMNS);
+    }
+
+    #[test]
+    fn json_is_flat_and_schema_ordered() {
+        let j = sample().to_json();
+        assert!(j.starts_with("{\"queries\":1000,"));
+        assert!(j.ends_with("\"peak_population\":311}"));
+        assert!(j.contains("\"hit_ratio\":0.640000"));
+        // Keys appear in schema order.
+        let mut last = 0;
+        for c in RunSummary::COLUMNS {
+            let pos = j.find(&format!("\"{c}\":")).expect("key present");
+            assert!(pos >= last, "{c} out of order");
+            last = pos;
+        }
+    }
+
+    #[test]
+    fn serialization_is_reproducible() {
+        assert_eq!(sample().to_json(), sample().to_json());
+        assert_eq!(sample().csv_fields(), sample().csv_fields());
+    }
+
+    #[test]
+    fn prefixed_csv_has_full_header() {
+        let c = RunSummary::csv_with_prefix(&["cell", "seed"]);
+        let header = c.as_str().lines().next().unwrap();
+        assert!(header.starts_with("cell,seed,queries,"));
+        assert!(header.ends_with("peak_population"));
+    }
+}

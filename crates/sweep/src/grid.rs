@@ -1,0 +1,92 @@
+//! The declarative experiment grid.
+
+use chaos::Scenario;
+use flower_cdn::{SimParams, System};
+
+/// One grid cell: a system under a parameter point, optionally with a
+/// fault scenario. The seed is *not* part of the cell — the grid's seed
+/// list is applied to every cell, and each (cell, seed) pair is one
+/// independent run.
+#[derive(Clone)]
+pub struct Cell {
+    /// Human- and file-name-friendly label; also the aggregation key in
+    /// the output files, so keep it unique within a grid.
+    pub label: String,
+    pub system: System,
+    /// Base parameters; `params.seed` is overwritten per run by the
+    /// grid's seed list.
+    pub params: SimParams,
+    /// Fault schedule applied to the run before it starts (shared across
+    /// all of the cell's seeds).
+    pub scenario: Option<Scenario>,
+}
+
+impl Cell {
+    pub fn new(label: impl Into<String>, system: System, params: SimParams) -> Cell {
+        Cell {
+            label: label.into(),
+            system,
+            params,
+            scenario: None,
+        }
+    }
+
+    pub fn with_scenario(mut self, scenario: Scenario) -> Cell {
+        self.scenario = Some(scenario);
+        self
+    }
+}
+
+/// A full experiment grid: cells × seeds.
+#[derive(Clone, Default)]
+pub struct Grid {
+    pub cells: Vec<Cell>,
+    pub seeds: Vec<u64>,
+}
+
+impl Grid {
+    pub fn new(seeds: Vec<u64>) -> Grid {
+        assert!(!seeds.is_empty(), "a grid needs at least one seed");
+        Grid {
+            cells: Vec::new(),
+            seeds,
+        }
+    }
+
+    pub fn push(&mut self, cell: Cell) -> &mut Self {
+        self.cells.push(cell);
+        self
+    }
+
+    /// Total independent runs this grid expands to.
+    pub fn total_runs(&self) -> usize {
+        self.cells.len() * self.seeds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_expands_cells_times_seeds() {
+        let mut g = Grid::new(vec![1, 2, 3]);
+        g.push(Cell::new(
+            "a",
+            System::FlowerCdn,
+            SimParams::quick(60, 60_000),
+        ));
+        g.push(Cell::new(
+            "b",
+            System::Squirrel,
+            SimParams::quick(60, 60_000),
+        ));
+        assert_eq!(g.total_runs(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seed_list_is_rejected() {
+        let _ = Grid::new(vec![]);
+    }
+}

@@ -1,0 +1,99 @@
+//! The orchestrator's headline contract: the thread pool never changes
+//! results. Same (params, seed, scenario) → identical `RunResult` whether
+//! run sequentially or inside the pool, and aggregate files are
+//! byte-identical for any `--jobs` value.
+
+use chaos::{FaultAction, Scenario};
+use flower_cdn::{SimParams, System};
+use sweep::{run_grid, runs_csv, summary_csv, summary_json, Cell, Grid, SweepOpts};
+
+fn tiny_params(population: usize) -> SimParams {
+    let mut p = SimParams::quick(population, 20 * 60_000);
+    p.catalog.websites = 4;
+    p.catalog.active_websites = 2;
+    p.catalog.objects_per_site = 50;
+    p
+}
+
+fn tiny_grid() -> Grid {
+    let mut grid = Grid::new(vec![1, 2]);
+    grid.push(Cell::new("flower_p60", System::FlowerCdn, tiny_params(60)));
+    grid.push(Cell::new("squirrel_p60", System::Squirrel, tiny_params(60)));
+    grid.push(
+        Cell::new("flower_p60_chaos", System::FlowerCdn, tiny_params(60)).with_scenario(
+            Scenario::new().at(
+                5 * 60_000,
+                FaultAction::KillDirectories {
+                    website: None,
+                    count: None,
+                },
+            ),
+        ),
+    );
+    grid
+}
+
+fn opts(jobs: usize) -> SweepOpts {
+    SweepOpts {
+        jobs,
+        ..SweepOpts::default()
+    }
+}
+
+#[test]
+fn aggregate_files_are_byte_identical_for_jobs_1_vs_4() {
+    let grid = tiny_grid();
+    let seq = run_grid(&grid, &opts(1));
+    let par = run_grid(&grid, &opts(4));
+    assert_eq!(
+        runs_csv(&seq).as_str(),
+        runs_csv(&par).as_str(),
+        "runs.csv must not depend on --jobs"
+    );
+    assert_eq!(
+        summary_csv(&seq).as_str(),
+        summary_csv(&par).as_str(),
+        "summary.csv must not depend on --jobs"
+    );
+    assert_eq!(
+        summary_json(&seq),
+        summary_json(&par),
+        "summary.json must not depend on --jobs"
+    );
+}
+
+#[test]
+fn pool_runs_match_direct_sequential_runs() {
+    let grid = tiny_grid();
+    let pooled = run_grid(&grid, &opts(4));
+    for (cell, result) in grid.cells.iter().zip(&pooled) {
+        for &(seed, ref pooled_summary) in &result.runs {
+            let direct = sweep::execute_cell(cell, seed, &opts(1)).summary();
+            assert_eq!(
+                &direct, pooled_summary,
+                "cell {} seed {seed}: pool changed the result",
+                cell.label
+            );
+        }
+    }
+}
+
+#[test]
+fn scenario_cells_reproduce_across_invocations() {
+    let grid = tiny_grid();
+    let a = run_grid(&grid, &opts(3));
+    let b = run_grid(&grid, &opts(2));
+    assert_eq!(runs_csv(&a).as_str(), runs_csv(&b).as_str());
+}
+
+#[test]
+fn cell_results_keep_grid_and_seed_order() {
+    let grid = tiny_grid();
+    let results = run_grid(&grid, &opts(4));
+    let labels: Vec<&str> = results.iter().map(|c| c.label.as_str()).collect();
+    assert_eq!(labels, ["flower_p60", "squirrel_p60", "flower_p60_chaos"]);
+    for cell in &results {
+        let seeds: Vec<u64> = cell.runs.iter().map(|&(s, _)| s).collect();
+        assert_eq!(seeds, grid.seeds);
+    }
+}

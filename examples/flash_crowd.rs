@@ -13,7 +13,7 @@
 //! cargo run --release --example flash_crowd
 //! ```
 
-use flower_cdn::{FaultAction, FlowerSim, Scenario, SimParams};
+use flower_cdn::{FaultAction, FlowerSim, Scenario, SimDriver, SimParams};
 
 fn run(label: &str, crowd: u32) {
     let horizon = 2 * 3_600_000u64;

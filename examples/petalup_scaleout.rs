@@ -11,7 +11,7 @@
 //! cargo run --release --example petalup_scaleout
 //! ```
 
-use flower_cdn::{FlowerSim, SimParams};
+use flower_cdn::{FlowerSim, SimDriver, SimParams};
 use simnet::Time;
 
 fn main() {

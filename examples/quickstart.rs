@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use flower_cdn::{FlowerSim, SimParams};
+use flower_cdn::{FlowerSim, SimDriver, SimParams};
 
 fn main() {
     // A reduced configuration: 300 peers, 2 simulated hours, the same

@@ -5,7 +5,7 @@
 use flower_cdn::experiments::{
     hit_ratio_series, lookup_histogram, run_comparison, transfer_histogram,
 };
-use flower_cdn::{FlowerSim, SimParams, SquirrelMode, SquirrelSim};
+use flower_cdn::{FlowerSim, SimDriver, SimParams, SquirrelMode, SquirrelSim};
 
 /// Reduced but regime-preserving parameters (dense petals, heavy churn).
 fn shape(seed: u64, population: usize) -> SimParams {

@@ -6,7 +6,7 @@
 use chaos::ResilienceTracker;
 use flower_cdn::experiments::{run_maintenance_variant, MaintenanceVariant};
 use flower_cdn::invariants::InvariantConfig;
-use flower_cdn::{FaultAction, FlowerSim, InvariantChecker, Scenario, SimParams};
+use flower_cdn::{FaultAction, FlowerSim, InvariantChecker, Scenario, SimDriver, SimParams};
 use simnet::Time;
 
 fn params(seed: u64) -> SimParams {
