@@ -29,4 +29,11 @@ for f in runs.csv summary.csv summary.json; do
         || { echo "sweep output $f depends on --jobs"; exit 1; }
 done
 
+echo "==> perf smoke (BENCH_ci.json vs committed BENCH_seed.json)"
+cargo run --release -p flower-bench --bin perf -- --smoke --label ci --out results
+# Loose threshold: wall-clock numbers vary across machines, so the gate
+# only catches structural blowups (>2.5x slowdown), not noise.
+cargo run --release -p flower-bench --bin perf -- \
+    --compare BENCH_seed.json results/BENCH_ci.json --threshold 1.5
+
 echo "==> CI green"

@@ -71,7 +71,7 @@ fn main() {
             .get(&ProtocolEvent::FetchMiss)
             .copied()
             .unwrap_or(0);
-        (r.summary(), fetch_misses)
+        (r.summary(), fetch_misses, r.perf)
     });
 
     let cells: Vec<CellResult> = grid
@@ -84,7 +84,11 @@ fn main() {
             population: cell.params.population,
             runs: runs
                 .iter()
-                .map(|(seed, (summary, _))| (*seed, summary.clone()))
+                .map(|(seed, (summary, _, _))| (*seed, summary.clone()))
+                .collect(),
+            perf: runs
+                .iter()
+                .filter_map(|(seed, (_, _, p))| p.clone().map(|p| (*seed, p)))
                 .collect(),
         })
         .collect();
@@ -106,7 +110,7 @@ fn main() {
         let misses = aggregate(
             &grouped[i]
                 .iter()
-                .map(|(_, (_, m))| *m as f64)
+                .map(|(_, (_, m, _))| *m as f64)
                 .collect::<Vec<_>>(),
         );
         rendered.push(vec![
@@ -151,4 +155,7 @@ fn main() {
     let runs_path = dir.join("ablation_cache_runs.csv");
     runs_csv(&cells).save(&runs_path).expect("write runs csv");
     println!("wrote {} and {}", path.display(), runs_path.display());
+    if let Some(p) = &opts.profile_out {
+        flower_bench::write_profile_report(p, &cells);
+    }
 }

@@ -99,4 +99,7 @@ fn main() {
     let runs_path = dir.join("ablation_maintenance_runs.csv");
     runs_csv(&results).save(&runs_path).expect("write runs csv");
     println!("wrote {} and {}", path.display(), runs_path.display());
+    if let Some(p) = &opts.profile_out {
+        flower_bench::write_profile_report(p, &results);
+    }
 }

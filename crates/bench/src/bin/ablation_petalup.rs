@@ -90,7 +90,7 @@ fn main() {
             splits: r.splits as f64,
             hit_ratio: r.stats.hit_ratio(),
         };
-        (r.summary(), structure)
+        (r.summary(), structure, r.perf)
     });
 
     let cells: Vec<CellResult> = grid
@@ -103,7 +103,11 @@ fn main() {
             population: cell.params.population,
             runs: runs
                 .iter()
-                .map(|(seed, (summary, _))| (*seed, summary.clone()))
+                .map(|(seed, (summary, _, _))| (*seed, summary.clone()))
+                .collect(),
+            perf: runs
+                .iter()
+                .filter_map(|(seed, (_, _, p))| p.clone().map(|p| (*seed, p)))
                 .collect(),
         })
         .collect();
@@ -124,7 +128,7 @@ fn main() {
             aggregate(
                 &grouped[i]
                     .iter()
-                    .map(|(_, (_, s))| get(s))
+                    .map(|(_, (_, s, _))| get(s))
                     .collect::<Vec<_>>(),
             )
         };
@@ -186,4 +190,7 @@ fn main() {
     let runs_path = dir.join("ablation_petalup_runs.csv");
     runs_csv(&cells).save(&runs_path).expect("write runs csv");
     println!("wrote {} and {}", path.display(), runs_path.display());
+    if let Some(p) = &opts.profile_out {
+        flower_bench::write_profile_report(p, &cells);
+    }
 }

@@ -1,0 +1,217 @@
+//! Performance trajectory harness: run a ladder of populations for both
+//! systems with the profiler enabled and write one schema-stable
+//! `BENCH_<label>.json` report, or compare two such reports and fail on
+//! throughput regressions.
+//!
+//! ```sh
+//! # Full ladder (P = 500 / 1500 / 3000, both systems, ~minutes):
+//! cargo run --release -p flower-bench --bin perf -- --label dev
+//!
+//! # CI smoke ladder (seconds; this is what ci.sh runs):
+//! cargo run --release -p flower-bench --bin perf -- --smoke --label ci
+//!
+//! # Gate: nonzero exit if `new` regressed >15% vs `old` on
+//! # events_per_sec or wall_ms_per_sim_hour:
+//! cargo run --release -p flower-bench --bin perf -- \
+//!     --compare BENCH_seed.json BENCH_ci.json --threshold 0.5
+//! ```
+//!
+//! Measurement notes: runs default to `--jobs 1` so cells do not contend
+//! for cores (wall-clock numbers are only comparable within one machine
+//! anyway); everything in the report *except* the wall-clock-derived
+//! fields (`wall_ms`, `events_per_sec`, `wall_ms_per_sim_hour`,
+//! `peak_rss_bytes`, `allocs*`) is deterministic — event counts, phase
+//! structure and per-message accounting are byte-identical across
+//! machines and `--jobs` values. The `--compare` verdict is a pure
+//! function of the two input files.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use flower_cdn::{shape_params, System};
+use profile::{compare, BenchReport};
+use sweep::{run_grid, Cell, Grid, SweepOpts};
+
+const USAGE: &str = "\
+usage: perf [--smoke] [--label NAME] [--out DIR] [--seed N] [--jobs N]
+       perf --compare OLD.json NEW.json [--threshold F]
+
+  --smoke          tiny ladder (P=150/300, 1 simulated hour) for CI
+  --label NAME     report label; the file is BENCH_<NAME>.json (default: perf)
+  --out DIR        directory for the report file (default: .)
+  --seed N         base seed for every cell (default: 47)
+  --jobs N         worker threads (default: 1, for quiet wall-clock numbers)
+  --compare A B    compare report B against baseline A instead of running
+  --threshold F    relative regression gate for --compare (default: 0.15)
+";
+
+struct PerfOpts {
+    smoke: bool,
+    label: String,
+    out_dir: PathBuf,
+    seed: u64,
+    jobs: usize,
+    compare: Option<(PathBuf, PathBuf)>,
+    threshold: f64,
+}
+
+fn parse_opts() -> Result<PerfOpts, String> {
+    let mut o = PerfOpts {
+        smoke: false,
+        label: "perf".to_string(),
+        out_dir: PathBuf::from("."),
+        seed: 47,
+        jobs: 1,
+        compare: None,
+        threshold: 0.15,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match a.as_str() {
+            "--smoke" => o.smoke = true,
+            "--label" => o.label = value("--label")?,
+            "--out" => o.out_dir = PathBuf::from(value("--out")?),
+            "--seed" => {
+                o.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--jobs" => {
+                o.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?
+            }
+            "--compare" => {
+                let old = value("--compare")?;
+                let new = value("--compare")?;
+                o.compare = Some((PathBuf::from(old), PathBuf::from(new)));
+            }
+            "--threshold" => {
+                o.threshold = value("--threshold")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(o)
+}
+
+/// The measurement ladder: every (population, system) pair the report
+/// carries, in a fixed order so reports stay comparable.
+pub fn ladder(smoke: bool, seed: u64) -> Grid {
+    let mut grid = Grid::new(vec![seed]);
+    let populations: &[usize] = if smoke {
+        &[150, 300]
+    } else {
+        &[500, 1_500, 3_000]
+    };
+    for &pop in populations {
+        let mut params = shape_params(pop, seed);
+        if smoke {
+            // One simulated hour keeps the CI step in seconds while
+            // still exercising several gossip rounds and churn epochs.
+            params.horizon_ms = 3_600_000;
+            params.mean_uptime_ms = 20 * 60_000;
+            params.query_period_ms = 2 * 60_000;
+            params.gossip_period_ms = 20 * 60_000;
+        }
+        for (tag, system) in [
+            ("flower", System::FlowerCdn),
+            ("squirrel", System::Squirrel),
+        ] {
+            grid.push(Cell::new(format!("{tag}_p{pop}"), system, params.clone()));
+        }
+    }
+    grid
+}
+
+fn run_ladder(o: &PerfOpts) -> ExitCode {
+    let grid = ladder(o.smoke, o.seed);
+    let opts = SweepOpts {
+        jobs: o.jobs,
+        profile: true,
+        progress: true,
+        ..SweepOpts::default()
+    };
+    let scale = if o.smoke { "smoke" } else { "full" };
+    eprintln!(
+        "perf {scale} ladder: {} cells, seed {}, --jobs {}…",
+        grid.cells.len(),
+        o.seed,
+        o.jobs
+    );
+    let started = std::time::Instant::now();
+    let results = run_grid(&grid, &opts);
+    eprintln!("ladder finished in {:.1}s", started.elapsed().as_secs_f64());
+
+    let cells: Vec<profile::RunPerf> = results
+        .iter()
+        .flat_map(|c| c.perf.iter().map(|(_, p)| p.clone()))
+        .collect();
+    println!(
+        "{:<10} {:>6} {:>10} {:>12} {:>14} {:>12}",
+        "system", "P", "events", "events/sec", "wall ms/sim h", "peak RSS MB"
+    );
+    for p in &cells {
+        println!(
+            "{:<10} {:>6} {:>10} {:>12.0} {:>14.1} {:>12.1}",
+            p.system,
+            p.population,
+            p.events,
+            p.events_per_sec,
+            p.wall_ms_per_sim_hour,
+            p.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+        );
+    }
+
+    let report = BenchReport::new(o.label.clone(), cells);
+    std::fs::create_dir_all(&o.out_dir).expect("create output dir");
+    let path = o.out_dir.join(BenchReport::file_name(&o.label));
+    report.save(&path).expect("write BENCH report");
+    println!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}
+
+fn run_compare(old: &Path, new: &Path, threshold: f64) -> ExitCode {
+    let old_report = match BenchReport::load(old) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot load baseline {}: {e}", old.display());
+            return ExitCode::from(2);
+        }
+    };
+    let new_report = match BenchReport::load(new) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot load {}: {e}", new.display());
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = compare(&old_report, &new_report, threshold);
+    print!("{}", outcome.report);
+    if outcome.is_pass() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let o = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("perf: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match &o.compare {
+        Some((old, new)) => run_compare(old, new, o.threshold),
+        None => run_ladder(&o),
+    }
+}

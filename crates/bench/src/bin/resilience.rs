@@ -44,10 +44,11 @@ use flower_bench::comparison::with_seed_suffix;
 use flower_bench::{canned_resilience_scenario, HarnessOpts};
 use flower_cdn::invariants::InvariantConfig;
 use flower_cdn::{run_system_with, InvariantChecker, System};
-use sweep::{run_cells, Cell, Grid};
+use sweep::{run_cells, Cell, CellResult, Grid};
 
 struct SystemRun {
     summary: RunSummary,
+    perf: Option<profile::RunPerf>,
     resilience: ResilienceSummary,
     /// Invariant violations (Flower-CDN only; empty for Squirrel).
     violations: Vec<String>,
@@ -103,6 +104,9 @@ fn main() {
             })
         });
         let result = run_system_with(cell.system, p, |sim| {
+            if inst.profile {
+                sim.enable_profiling();
+            }
             sim.add_trace_sink_boxed(Box::new(tracker.clone()));
             if let Some(c) = &checker {
                 sim.add_trace_sink_boxed(Box::new(c.clone()));
@@ -125,6 +129,7 @@ fn main() {
         });
         SystemRun {
             summary: result.summary(),
+            perf: result.perf.clone(),
             resilience: tracker.summary(),
             violations: checker.map(|c| c.violations()).unwrap_or_default(),
         }
@@ -196,6 +201,24 @@ fn main() {
     let path = opts.results_dir().join("resilience.csv");
     csv.save(&path).expect("write results csv");
     println!("wrote {}", path.display());
+    if let Some(p) = &opts.profile_out {
+        let cells: Vec<CellResult> = grid
+            .cells
+            .iter()
+            .zip(&grouped)
+            .map(|(cell, runs)| CellResult {
+                label: cell.label.clone(),
+                system: cell.system,
+                population: cell.params.population,
+                runs: runs.iter().map(|(s, r)| (*s, r.summary.clone())).collect(),
+                perf: runs
+                    .iter()
+                    .filter_map(|(s, r)| r.perf.clone().map(|p| (*s, p)))
+                    .collect(),
+            })
+            .collect();
+        flower_bench::write_profile_report(p, &cells);
+    }
 
     // Availability timeline: one row per bucket, both systems side by
     // side (hit ratio of queries answered by the overlay vs the origin),

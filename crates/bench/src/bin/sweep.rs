@@ -155,4 +155,7 @@ fn main() {
         "wrote {}/runs.csv, summary.csv, summary.json",
         dir.display()
     );
+    if let Some(p) = &opts.profile_out {
+        flower_bench::write_profile_report(p, &results);
+    }
 }

@@ -51,6 +51,28 @@ pub struct ComparisonOut {
     pub cells: Vec<CellResult>,
 }
 
+/// The report label a `--profile-out` path implies: the file stem with a
+/// `BENCH_` prefix stripped, so `--profile-out BENCH_fig3.json` labels the
+/// report `fig3`.
+pub fn profile_label(path: &Path) -> String {
+    let stem = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "profile".to_string());
+    stem.strip_prefix("BENCH_").unwrap_or(&stem).to_string()
+}
+
+/// Write every perf cell the sweep collected as one BENCH-schema report.
+pub fn write_profile_report(path: &Path, cells: &[CellResult]) {
+    let perf: Vec<profile::RunPerf> = cells
+        .iter()
+        .flat_map(|c| c.perf.iter().map(|(_, p)| p.clone()))
+        .collect();
+    let report = profile::BenchReport::new(profile_label(path), perf);
+    report.save(path).expect("write profile report");
+    eprintln!("wrote {}", path.display());
+}
+
 /// Insert `_s<seed>` before the final extension, so multi-seed runs keep
 /// one trace file per run: `trace.jsonl` → `trace_s7.jsonl`.
 pub fn with_seed_suffix(path: &Path, seed: u64) -> PathBuf {
@@ -92,8 +114,11 @@ pub fn run_comparison_sweep(opts: &HarnessOpts, params: SimParams) -> Comparison
         let mut p = cell.params.clone();
         p.seed = seed;
         run_system_with(cell.system, p, |sim| {
-            // Same setup order as Instrumentation::apply: trace sink,
-            // gauges, scenario.
+            // Same setup order as Instrumentation::apply: profiler,
+            // trace sink, gauges, scenario.
+            if inst.profile {
+                sim.enable_profiling();
+            }
             if let Some(base) = inst.trace_path(cell.system) {
                 let path = if multi {
                     with_seed_suffix(&base, seed)
@@ -121,8 +146,15 @@ pub fn run_comparison_sweep(opts: &HarnessOpts, params: SimParams) -> Comparison
             system: cell.system,
             population: cell.params.population,
             runs: runs.iter().map(|(s, r)| (*s, r.summary())).collect(),
+            perf: runs
+                .iter()
+                .filter_map(|(s, r)| r.perf.clone().map(|p| (*s, p)))
+                .collect(),
         })
         .collect();
+    if let Some(path) = &opts.profile_out {
+        write_profile_report(path, &cells);
+    }
 
     let mut grouped = grouped.into_iter();
     let flower = SystemOut::merge(grouped.next().expect("flower cell"));

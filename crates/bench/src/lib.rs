@@ -16,6 +16,9 @@
 //!   lines sharing its `qid`;
 //! * `--gauges MS` — sample live gauges (population, D-ring size, petal
 //!   sizes, per-class message rates) every `MS` of virtual time;
+//! * `--profile-out PATH` — enable the performance profiler (phase
+//!   timers, per-message-class accounting) in every run and write the
+//!   collected cells as one `BENCH`-schema report to `PATH`;
 //! * `--scenario FILE` — apply a [`chaos`] fault schedule (scenario text
 //!   format; see `DESIGN.md` §7) identically to every simulated system.
 //!
@@ -31,7 +34,9 @@ pub mod comparison;
 pub mod opts;
 pub mod scenarios;
 
-pub use comparison::{run_comparison_sweep, ComparisonOut, SystemOut};
+pub use comparison::{
+    profile_label, run_comparison_sweep, write_profile_report, ComparisonOut, SystemOut,
+};
 pub use opts::{HarnessOpts, HarnessOptsBuilder, OptsError, Scale, USAGE};
 pub use scenarios::canned_resilience_scenario;
 

@@ -31,6 +31,8 @@ pub const USAGE: &str = "usage: <bin> [flags]
   --out DIR            write result files under DIR (default: results/)
   --trace-out PATH     stream simulation events as JSON lines to PATH
   --gauges MS          sample live gauges every MS of virtual time
+  --profile-out PATH   enable the profiler and write a BENCH-schema perf
+                       report (phase timers, message accounting) to PATH
   --scenario FILE      apply a chaos fault schedule to every system
   --assert-recovery    turn the resilience report into hard assertions
   --help               print this message";
@@ -71,6 +73,9 @@ pub struct HarnessOpts {
     pub trace_out: Option<PathBuf>,
     /// Gauge sampling period in virtual ms (`--gauges`).
     pub gauge_period_ms: Option<u64>,
+    /// Enable the profiler and write a `BENCH`-schema perf report here
+    /// (`--profile-out`).
+    pub profile_out: Option<PathBuf>,
     /// Fault schedule to apply to every system (`--scenario`).
     pub scenario: Option<flower_cdn::Scenario>,
     /// Fail the process unless the run demonstrates recovery
@@ -100,6 +105,7 @@ impl Default for HarnessOptsBuilder {
                 out_dir: None,
                 trace_out: None,
                 gauge_period_ms: None,
+                profile_out: None,
                 scenario: None,
                 assert_recovery: false,
                 smoke: false,
@@ -200,6 +206,10 @@ impl HarnessOptsBuilder {
                     let v = value(&mut args, "--gauges", "a period in ms")?;
                     self.opts.gauge_period_ms = Some(number(&v, "--gauges")?);
                 }
+                "--profile-out" => {
+                    let v = value(&mut args, "--profile-out", "a path")?;
+                    self.opts.profile_out = Some(v.into());
+                }
                 "--scenario" => {
                     let v = value(&mut args, "--scenario", "a file path")?;
                     let sc = flower_cdn::Scenario::load(&v)
@@ -295,6 +305,7 @@ impl HarnessOpts {
             trace_out: self.trace_out.clone(),
             gauge_period_ms: self.gauge_period_ms,
             scenario: self.scenario.clone(),
+            profile: self.profile_out.is_some(),
         }
     }
 
@@ -357,6 +368,7 @@ impl HarnessOpts {
             gauge_period_ms: self.gauge_period_ms,
             trace_dir: None,
             progress: true,
+            profile: self.profile_out.is_some(),
         }
     }
 

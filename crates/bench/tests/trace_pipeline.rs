@@ -27,6 +27,7 @@ fn instrumented_run_emits_reconstructible_traces_and_gauges() {
         trace_out: Some(path.clone()),
         gauge_period_ms: Some(5 * 60_000),
         scenario: None,
+        profile: false,
     };
     let run = run_comparison_instrumented(params, inst);
 

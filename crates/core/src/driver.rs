@@ -57,9 +57,16 @@ pub trait SimDriver {
     fn add_trace_sink_boxed(&mut self, sink: Box<dyn TraceSink>);
 
     /// Turn on periodic gauge sampling with this period of virtual time.
-    /// Returns a live handle to the registry; [`RunResult::gauges`]
-    /// carries the same series after `finish`.
+    /// Samples land on exact multiples of the period, so gauge rows align
+    /// across seeds and systems. Returns a live handle to the registry;
+    /// [`RunResult::gauges`] carries the same series after `finish`.
     fn enable_gauges(&mut self, period_ms: u64) -> Rc<RefCell<GaugeRegistry>>;
+
+    /// Turn on the performance profiler: hierarchical phase timers on the
+    /// event loop and protocol hot spots, plus per-message-class count and
+    /// wire-byte accounting. Costs nothing until called.
+    /// [`RunResult::perf`] carries the measured cell after `finish`.
+    fn enable_profiling(&mut self);
 
     /// Consume the simulation and aggregate everything it produced.
     fn finish(self) -> RunResult

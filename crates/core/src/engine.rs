@@ -49,6 +49,15 @@ pub(crate) struct GaugeState {
     pub(crate) registry: Rc<RefCell<GaugeRegistry>>,
     class_counts: ClassCountSink,
     last_counts: std::collections::BTreeMap<&'static str, u64>,
+    last_events: u64,
+}
+
+/// The next exact multiple of `period_ms` strictly after `now`. Gauge
+/// ticks land on aligned sim-time boundaries — `period, 2·period, …` —
+/// regardless of when sampling was enabled or of jitter in the enabling
+/// path, so gauge rows line up across seeds and systems.
+pub(crate) fn next_sample_at(now: Time, period_ms: u64) -> Time {
+    Time::from_millis((now.as_millis() / period_ms + 1) * period_ms)
 }
 
 impl GaugeState {
@@ -59,6 +68,7 @@ impl GaugeState {
             registry: Rc::new(RefCell::new(GaugeRegistry::new())),
             class_counts,
             last_counts: std::collections::BTreeMap::new(),
+            last_events: 0,
         }
     }
 
@@ -83,6 +93,17 @@ impl GaugeState {
             }
         }
         self.last_counts = counts;
+    }
+
+    /// Record the event-loop gauges: scheduler queue depth right now and
+    /// events dispatched per sim-second since the previous sample.
+    pub(crate) fn sample_event_loop(&mut self, at_ms: u64, queue_depth: usize, total_events: u64) {
+        let secs = self.period_ms as f64 / 1000.0;
+        let delta = total_events - self.last_events;
+        self.last_events = total_events;
+        let mut reg = self.registry.borrow_mut();
+        reg.record("queue_depth", at_ms, queue_depth as f64);
+        reg.record("events_per_sim_sec", at_ms, delta as f64 / secs);
     }
 
     /// Snapshot of the accumulated series for a finished run.
@@ -118,6 +139,10 @@ pub struct RunResult {
     /// per-class message rates). Empty unless `enable_gauges` was called
     /// before the run.
     pub gauges: GaugeRegistry,
+    /// Performance cell of this run (wall clock, events/sec, per-phase
+    /// breakdown, per-class message bytes). `None` unless
+    /// [`crate::driver::SimDriver::enable_profiling`] was called.
+    pub perf: Option<profile::RunPerf>,
 }
 
 impl RunResult {
@@ -150,6 +175,7 @@ impl RunResult {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // private constructor, both engines feed it
     fn from_reports(
         records: Vec<QueryRecord>,
         replacements: u64,
@@ -158,6 +184,7 @@ impl RunResult {
         events: std::collections::BTreeMap<crate::peer::ProtocolEvent, u64>,
         messages_delivered: u64,
         gauges: GaugeRegistry,
+        perf: Option<profile::RunPerf>,
     ) -> Self {
         let mut stats = QueryStats::default();
         for r in &records {
@@ -172,8 +199,39 @@ impl RunResult {
             peak_population: peak,
             messages_delivered,
             gauges,
+            perf,
         }
     }
+}
+
+/// Build the [`profile::RunPerf`] cell of a finished profiled run from the
+/// world's profiler and scheduler counters plus the engine's wall-clock /
+/// allocation baselines captured at construction. Shared by both engines
+/// so the BENCH cells of Flower-CDN and Squirrel are directly comparable.
+pub(crate) fn collect_run_perf<N: simnet::Node, C>(
+    world: &World<N, C>,
+    system: &str,
+    params: &SimParams,
+    built_at: std::time::Instant,
+    alloc_base: u64,
+) -> profile::RunPerf {
+    let events = world.stats().events_processed();
+    profile::RunPerf {
+        system: system.to_string(),
+        population: params.population as u64,
+        seed: params.seed,
+        sim_hours: world.now().as_millis() as f64 / 3_600_000.0,
+        wall_ms: built_at.elapsed().as_secs_f64() * 1000.0,
+        events,
+        events_per_sec: 0.0,
+        wall_ms_per_sim_hour: 0.0,
+        peak_rss_bytes: profile::peak_rss_bytes(),
+        allocs: profile::alloc_count().saturating_sub(alloc_base),
+        allocs_per_event: 0.0,
+        phases: world.profiler().phase_rows(),
+        messages: world.profiler().msg_rows(),
+    }
+    .with_derived()
 }
 
 /// The Flower-CDN simulation.
@@ -187,12 +245,18 @@ pub struct FlowerSim {
     origin_dial: Rc<OriginDial>,
     engine_rng: StdRng,
     gauges: Option<GaugeState>,
+    /// Wall-clock and allocation baselines for the perf cell, captured at
+    /// construction so setup cost is part of the measured run.
+    built_at: std::time::Instant,
+    alloc_base: u64,
 }
 
 impl FlowerSim {
     /// Build the t=0 state: topology, origin servers, the initial D-ring of
     /// one directory peer per (website, locality), and the churn schedule.
     pub fn new(params: SimParams) -> FlowerSim {
+        let built_at = std::time::Instant::now();
+        let alloc_base = profile::alloc_count();
         let params = Rc::new(params);
         let catalog = Rc::new(Catalog::new(params.catalog.clone()));
         let mut engine_rng = StdRng::seed_from_u64(params.seed ^ 0xE61E);
@@ -217,6 +281,8 @@ impl FlowerSim {
             origin_dial: OriginDial::shared(),
             engine_rng,
             gauges: None,
+            built_at,
+            alloc_base,
         };
         sim.build_initial_dring();
         sim.schedule_churn();
@@ -305,6 +371,7 @@ impl FlowerSim {
             website,
             origin_latency_ms,
             origin_dial: Rc::clone(&self.origin_dial),
+            profiler: self.world.profiler().clone(),
         }
     }
 
@@ -333,6 +400,7 @@ impl FlowerSim {
                     website,
                     origin_latency_ms,
                     origin_dial: Rc::clone(&dial),
+                    profiler: world.profiler().clone(),
                 };
                 let id = world.spawn(at, |me, locality| FlowerPeer::new_client(pcx, me, locality));
                 let end_at = world.now() + lifetime_ms;
@@ -360,7 +428,10 @@ impl FlowerSim {
             Control::Sample => {
                 if let Some(g) = gauges.as_mut() {
                     sample_flower_gauges(g, world);
-                    world.schedule_control(world.now() + g.period_ms, Control::Sample);
+                    world.schedule_control(
+                        next_sample_at(world.now(), g.period_ms),
+                        Control::Sample,
+                    );
                 }
             }
         });
@@ -450,6 +521,15 @@ impl FlowerSim {
 
     fn finish_inner(mut self) -> RunResult {
         self.world.flush_trace_sinks();
+        let perf = self.world.profiler().is_enabled().then(|| {
+            collect_run_perf(
+                &self.world,
+                "Flower-CDN",
+                &self.params,
+                self.built_at,
+                self.alloc_base,
+            )
+        });
         let peak = self.world.live_count();
         let messages = self.world.stats().delivered;
         let gauges = self
@@ -482,6 +562,7 @@ impl FlowerSim {
             events,
             messages,
             gauges,
+            perf,
         )
     }
 }
@@ -557,9 +638,15 @@ impl crate::driver::SimDriver for FlowerSim {
         let state = GaugeState::new(period_ms, counts);
         let registry = Rc::clone(&state.registry);
         self.world
-            .schedule_control(self.world.now() + period_ms, Control::Sample);
+            .schedule_control(next_sample_at(self.world.now(), period_ms), Control::Sample);
         self.gauges = Some(state);
         registry
+    }
+
+    /// Turn on the performance profiler: phase timers, per-class message
+    /// accounting. [`RunResult::perf`] carries the cell after `finish()`.
+    fn enable_profiling(&mut self) {
+        self.world.profiler().enable();
     }
 
     /// Consume the simulation and aggregate everything.
@@ -600,6 +687,7 @@ fn sample_flower_gauges(g: &mut GaugeState, world: &World<FlowerPeer, Control>) 
     };
     g.record("petal_size_mean", at, mean);
     g.sample_message_rates(at);
+    g.sample_event_loop(at, world.queue_depth(), world.stats().events_processed());
 }
 
 /// Execute one scheduled fault against a Flower-CDN world. Victim

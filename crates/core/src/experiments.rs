@@ -80,6 +80,9 @@ pub struct Instrumentation {
     /// A fault schedule (`--scenario FILE`) applied identically to both
     /// systems before the run starts.
     pub scenario: Option<chaos::Scenario>,
+    /// Enable the performance profiler (phase timers, per-class message
+    /// accounting); the run's [`RunResult::perf`] cell is filled.
+    pub profile: bool,
 }
 
 impl Instrumentation {
@@ -95,9 +98,14 @@ impl Instrumentation {
 
     /// Attach everything this instrumentation asks for to one simulation,
     /// through the [`SimDriver`] surface (system-agnostic). Order —
-    /// trace sink, gauges, scenario — is part of the determinism contract:
-    /// every code path that sets up a run applies in this order.
+    /// profiler, trace sink, gauges, scenario — is part of the determinism
+    /// contract: every code path that sets up a run applies in this order.
+    /// (The profiler goes first so it observes everything the rest emits;
+    /// it never affects the virtual-time schedule.)
     pub fn apply(&self, sim: &mut dyn SimDriver, system: System) {
+        if self.profile {
+            sim.enable_profiling();
+        }
         if let Some(path) = self.trace_path(system) {
             let w = cdn_metrics::JsonlTraceWriter::create(path).expect("create trace file");
             sim.add_trace_sink_boxed(Box::new(w));

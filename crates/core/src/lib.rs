@@ -65,8 +65,8 @@ pub use dring::DirPosition;
 pub use driver::SimDriver;
 pub use engine::{Control, FlowerSim, RunResult};
 pub use experiments::{
-    run_comparison, run_comparison_instrumented, run_system, run_system_with, ComparisonRun,
-    Instrumentation, System,
+    run_comparison, run_comparison_instrumented, run_system, run_system_with, shape_params,
+    ComparisonRun, Instrumentation, System,
 };
 pub use invariants::InvariantChecker;
 pub use msg::{FlowerMsg, FlowerTimer, RoutePayload, Summary};

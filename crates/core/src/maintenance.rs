@@ -41,7 +41,10 @@ impl FlowerPeer {
         let period = self.pcx.params.gossip_period_ms;
         let jitter = jittered_period(ctx.rng, period);
         ctx.set_timer(jitter, FlowerTimer::Gossip);
-        let summary = self.store.summary();
+        let summary = {
+            let _p = self.pcx.profiler.scope("bloom_summary");
+            self.store.summary()
+        };
         if let Some((target, msg, gen)) = self.gossip.start_shuffle(summary, ctx.rng) {
             ctx.trace(tags::GOSSIP_SHUFFLE, || {
                 vec![("partner", target.into()), ("gen", gen.into())]
@@ -75,7 +78,10 @@ impl FlowerPeer {
         self.merge_dir_info(dir_info);
         match inner {
             gossip::GossipMsg::ShuffleReq { entries } => {
-                let summary = self.store.summary();
+                let summary = {
+                    let _p = self.pcx.profiler.scope("bloom_summary");
+                    self.store.summary()
+                };
                 let reply = self.gossip.handle_request(from, entries, summary, ctx.rng);
                 ctx.send(
                     from,

@@ -39,6 +39,10 @@ pub struct PeerCtx {
     pub origin_latency_ms: u64,
     /// Shared origin health state: chaos brownouts add latency here.
     pub origin_dial: Rc<crate::chaos_driver::OriginDial>,
+    /// The engine's profiler handle (shared with the world). Disabled
+    /// unless the run enables profiling; protocol hot spots (gossip
+    /// summary builds, PetalUp scans, Bloom matching) open scopes on it.
+    pub profiler: simnet::Profiler,
 }
 
 /// Events the engine collects (via `simnet` reports).
@@ -638,6 +642,7 @@ impl Node for FlowerPeer {
         match timer {
             FlowerTimer::Chord(t) => {
                 if let Role::Directory(d) = &mut self.role {
+                    let _p = self.pcx.profiler.scope("dring_maint");
                     let actions = d.chord.handle_timer(t);
                     self.apply_chord_actions(ctx, actions);
                 }
@@ -666,6 +671,10 @@ impl Node for FlowerPeer {
 
     fn timer_class(timer: &FlowerTimer) -> &'static str {
         timer.class()
+    }
+
+    fn msg_wire_bytes(msg: &FlowerMsg) -> usize {
+        msg.wire_bytes()
     }
 
     fn on_leave(&mut self, ctx: &mut Ctx<Self>) {

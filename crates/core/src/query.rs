@@ -151,14 +151,16 @@ impl FlowerPeer {
             return false;
         };
         let key = object.as_u64();
-        let candidates: Vec<NodeId> = self
-            .gossip
-            .view()
-            .entries()
-            .iter()
-            .filter(|e| !p.excluded.contains(&e.node) && e.payload.contains(key))
-            .map(|e| e.node)
-            .collect();
+        let candidates: Vec<NodeId> = {
+            let _p = self.pcx.profiler.scope("bloom_match");
+            self.gossip
+                .view()
+                .entries()
+                .iter()
+                .filter(|e| !p.excluded.contains(&e.node) && e.payload.contains(key))
+                .map(|e| e.node)
+                .collect()
+        };
         if candidates.is_empty() {
             return false;
         }
@@ -805,6 +807,7 @@ impl FlowerPeer {
         // PetalUp scan (§4): overloaded instances pass the query along the
         // instance chain; the final overloaded instance splits.
         if d.index.peer_count() >= capacity && !d.index.contains_peer(client) {
+            let _p = self.pcx.profiler.scope("petalup_scan");
             let next_pos = d.position.next_instance();
             if let Some(next_pos) = next_pos {
                 let succ = d.chord.successor();

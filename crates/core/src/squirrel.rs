@@ -84,6 +84,25 @@ pub enum SqMsg {
     },
 }
 
+impl SqMsg {
+    /// Estimated serialized size on the wire, mirroring
+    /// [`crate::msg::FlowerMsg::wire_bytes`]'s conventions (16-byte header
+    /// floor, object bodies modelled as ~4 KiB) so the two systems'
+    /// per-class byte accounting is directly comparable.
+    pub fn wire_bytes(&self) -> usize {
+        const HDR: usize = 16;
+        HDR + match self {
+            SqMsg::Chord(_) => 32,
+            SqMsg::Query { exclude, .. } => 16 + 8 * exclude.len(),
+            SqMsg::Answer { .. } => 24,
+            SqMsg::Fetch { .. } => 16,
+            SqMsg::FetchOk { .. } => 16 + 4096,
+            SqMsg::FetchMiss { .. } => 16,
+            SqMsg::StoreCopy { .. } => 8 + 4096,
+        }
+    }
+}
+
 /// Squirrel timers.
 #[derive(Debug, Clone)]
 pub enum SqTimer {
@@ -732,6 +751,10 @@ impl Node for SquirrelPeer {
             SqTimer::OriginDone { .. } => "origin_done",
         }
     }
+
+    fn msg_wire_bytes(msg: &SqMsg) -> usize {
+        msg.wire_bytes()
+    }
 }
 
 // ======================================================================
@@ -768,10 +791,16 @@ pub struct SquirrelSim {
     engine_rng: StdRng,
     mode: SquirrelMode,
     gauges: Option<GaugeState>,
+    /// Wall-clock and allocation baselines for the perf cell, captured at
+    /// construction so setup cost is part of the measured run.
+    built_at: std::time::Instant,
+    alloc_base: u64,
 }
 
 impl SquirrelSim {
     pub fn new(params: SimParams, mode: SquirrelMode) -> SquirrelSim {
+        let built_at = std::time::Instant::now();
+        let alloc_base = profile::alloc_count();
         let params = Rc::new(params);
         let catalog = Rc::new(Catalog::new(params.catalog.clone()));
         let mut engine_rng = StdRng::seed_from_u64(params.seed ^ 0xE61E);
@@ -796,6 +825,8 @@ impl SquirrelSim {
             engine_rng,
             mode,
             gauges: None,
+            built_at,
+            alloc_base,
         };
         sim.build_initial_population();
         sim.schedule_churn();
@@ -939,7 +970,10 @@ impl SquirrelSim {
             SqControl::Sample => {
                 if let Some(g) = gauges.as_mut() {
                     sample_squirrel_gauges(g, world);
-                    world.schedule_control(world.now() + g.period_ms, SqControl::Sample);
+                    world.schedule_control(
+                        crate::engine::next_sample_at(world.now(), g.period_ms),
+                        SqControl::Sample,
+                    );
                 }
             }
         });
@@ -1023,6 +1057,15 @@ impl SquirrelSim {
     fn finish_inner(mut self) -> RunResult {
         use crate::peer::ProtocolEvent;
         self.world.flush_trace_sinks();
+        let perf = self.world.profiler().is_enabled().then(|| {
+            crate::engine::collect_run_perf(
+                &self.world,
+                "Squirrel",
+                &self.params,
+                self.built_at,
+                self.alloc_base,
+            )
+        });
         let peak = self.world.live_count();
         let messages_delivered = self.world.stats().delivered;
         let gauges = self
@@ -1064,6 +1107,7 @@ impl SquirrelSim {
             peak_population: peak,
             messages_delivered,
             gauges,
+            perf,
         }
     }
 }
@@ -1116,10 +1160,18 @@ impl crate::driver::SimDriver for SquirrelSim {
         self.world.add_trace_sink(Box::new(counts.clone()));
         let state = GaugeState::new(period_ms, counts);
         let registry = Rc::clone(&state.registry);
-        self.world
-            .schedule_control(self.world.now() + period_ms, SqControl::Sample);
+        self.world.schedule_control(
+            crate::engine::next_sample_at(self.world.now(), period_ms),
+            SqControl::Sample,
+        );
         self.gauges = Some(state);
         registry
+    }
+
+    /// Turn on the performance profiler; [`RunResult::perf`] carries the
+    /// measured cell after `finish()`.
+    fn enable_profiling(&mut self) {
+        self.world.profiler().enable();
     }
 
     fn finish(self) -> RunResult {
@@ -1244,6 +1296,7 @@ fn sample_squirrel_gauges(g: &mut GaugeState, world: &World<SquirrelPeer, SqCont
     g.record("ring_size", at, joined as f64);
     g.record("homed_objects", at, homed as f64);
     g.sample_message_rates(at);
+    g.sample_event_loop(at, world.queue_depth(), world.stats().events_processed());
 }
 
 #[cfg(test)]

@@ -1,0 +1,481 @@
+//! The `BENCH_<label>.json` perf-trajectory schema and the regression
+//! comparator behind `perf --compare`.
+//!
+//! Schema (`"bench-v1"`): one [`BenchReport`] per file, holding one
+//! [`RunPerf`] cell per (system, population, seed). Key order and number
+//! formatting are fixed, so serializing the same data twice is
+//! byte-identical — the files are diffable artifacts.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::json::{escape, Json};
+
+/// The current schema tag written into every report.
+pub const SCHEMA: &str = "bench-v1";
+
+/// One aggregated phase: a `a/b/c` path in the scope tree with its hit
+/// count, total (inclusive) time and self (exclusive) time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseRow {
+    pub path: String,
+    pub count: u64,
+    pub total_ns: u64,
+    pub self_ns: u64,
+}
+
+/// Per-message-class accounting: sends and estimated wire bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MsgRow {
+    pub class: String,
+    pub count: u64,
+    pub bytes: u64,
+}
+
+/// Everything one profiled run cost: the perf cell of the BENCH schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunPerf {
+    /// System label ("Flower-CDN" / "Squirrel").
+    pub system: String,
+    pub population: u64,
+    pub seed: u64,
+    /// Simulated horizon actually covered, in virtual hours.
+    pub sim_hours: f64,
+    /// Wall-clock time of the run in milliseconds.
+    pub wall_ms: f64,
+    /// Scheduler events processed (deliveries + drops + timers + controls).
+    pub events: u64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Wall-clock milliseconds per simulated hour — the ladder's headline
+    /// scaling metric.
+    pub wall_ms_per_sim_hour: f64,
+    /// Peak RSS of the process when the run finished (0 if unavailable).
+    pub peak_rss_bytes: u64,
+    /// Allocations during the run (0 unless the binary installs the
+    /// counting allocator).
+    pub allocs: u64,
+    /// Allocations per scheduler event.
+    pub allocs_per_event: f64,
+    /// Flamegraph-style per-phase breakdown, pre-order.
+    pub phases: Vec<PhaseRow>,
+    /// Per-message-class send counts and byte estimates.
+    pub messages: Vec<MsgRow>,
+}
+
+impl RunPerf {
+    /// Fill the derived rate fields from the raw measurements.
+    pub fn with_derived(mut self) -> RunPerf {
+        self.events_per_sec = if self.wall_ms > 0.0 {
+            self.events as f64 / (self.wall_ms / 1000.0)
+        } else {
+            0.0
+        };
+        self.wall_ms_per_sim_hour = if self.sim_hours > 0.0 {
+            self.wall_ms / self.sim_hours
+        } else {
+            0.0
+        };
+        self.allocs_per_event = if self.events > 0 {
+            self.allocs as f64 / self.events as f64
+        } else {
+            0.0
+        };
+        self
+    }
+
+    fn to_json(&self, out: &mut String, indent: &str) {
+        let _ = write!(
+            out,
+            "{indent}{{\"system\":\"{}\",\"population\":{},\"seed\":{},\
+             \"sim_hours\":{:.3},\"wall_ms\":{:.3},\"events\":{},\
+             \"events_per_sec\":{:.1},\"wall_ms_per_sim_hour\":{:.3},\
+             \"peak_rss_bytes\":{},\"allocs\":{},\"allocs_per_event\":{:.3},",
+            escape(&self.system),
+            self.population,
+            self.seed,
+            self.sim_hours,
+            self.wall_ms,
+            self.events,
+            self.events_per_sec,
+            self.wall_ms_per_sim_hour,
+            self.peak_rss_bytes,
+            self.allocs,
+            self.allocs_per_event,
+        );
+        out.push_str("\"phases\":[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n{indent}  {{\"path\":\"{}\",\"count\":{},\"total_ns\":{},\"self_ns\":{}}}",
+                escape(&p.path),
+                p.count,
+                p.total_ns,
+                p.self_ns
+            );
+        }
+        out.push_str("],\"messages\":[");
+        for (i, m) in self.messages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n{indent}  {{\"class\":\"{}\",\"count\":{},\"bytes\":{}}}",
+                escape(&m.class),
+                m.count,
+                m.bytes
+            );
+        }
+        out.push_str("]}");
+    }
+
+    fn from_json(v: &Json) -> Result<RunPerf, String> {
+        fn num(v: &Json, key: &str) -> Result<f64, String> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("cell missing numeric {key:?}"))
+        }
+        fn int(v: &Json, key: &str) -> Result<u64, String> {
+            Ok(num(v, key)? as u64)
+        }
+        let phases = v
+            .get("phases")
+            .and_then(Json::as_arr)
+            .ok_or("cell missing phases")?
+            .iter()
+            .map(|p| {
+                Ok(PhaseRow {
+                    path: p
+                        .get("path")
+                        .and_then(Json::as_str)
+                        .ok_or("phase missing path")?
+                        .to_string(),
+                    count: int(p, "count")?,
+                    total_ns: int(p, "total_ns")?,
+                    self_ns: int(p, "self_ns")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let messages = v
+            .get("messages")
+            .and_then(Json::as_arr)
+            .ok_or("cell missing messages")?
+            .iter()
+            .map(|m| {
+                Ok(MsgRow {
+                    class: m
+                        .get("class")
+                        .and_then(Json::as_str)
+                        .ok_or("message missing class")?
+                        .to_string(),
+                    count: int(m, "count")?,
+                    bytes: int(m, "bytes")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(RunPerf {
+            system: v
+                .get("system")
+                .and_then(Json::as_str)
+                .ok_or("cell missing system")?
+                .to_string(),
+            population: int(v, "population")?,
+            seed: int(v, "seed")?,
+            sim_hours: num(v, "sim_hours")?,
+            wall_ms: num(v, "wall_ms")?,
+            events: int(v, "events")?,
+            events_per_sec: num(v, "events_per_sec")?,
+            wall_ms_per_sim_hour: num(v, "wall_ms_per_sim_hour")?,
+            peak_rss_bytes: int(v, "peak_rss_bytes")?,
+            allocs: int(v, "allocs")?,
+            allocs_per_event: num(v, "allocs_per_event")?,
+            phases,
+            messages,
+        })
+    }
+}
+
+/// A full `BENCH_<label>.json` document: the perf trajectory of one
+/// harness invocation across its population ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    pub schema: String,
+    pub label: String,
+    pub cells: Vec<RunPerf>,
+}
+
+impl BenchReport {
+    pub fn new(label: impl Into<String>, cells: Vec<RunPerf>) -> BenchReport {
+        BenchReport {
+            schema: SCHEMA.to_string(),
+            label: label.into(),
+            cells,
+        }
+    }
+
+    /// Canonical file name for a label: `BENCH_<label>.json`.
+    pub fn file_name(label: &str) -> String {
+        format!("BENCH_{label}.json")
+    }
+
+    /// Serialize. Byte-stable for equal data: fixed key order, fixed
+    /// float precision, trailing newline.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"schema\":\"{}\",\"label\":\"{}\",\"cells\":[",
+            escape(&self.schema),
+            escape(&self.label)
+        );
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            cell.to_json(&mut out, "  ");
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Parse a serialized report, verifying the schema tag.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let v = Json::parse(text)?;
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("report missing schema")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema {schema:?} (want {SCHEMA:?})"));
+        }
+        let cells = v
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or("report missing cells")?
+            .iter()
+            .map(RunPerf::from_json)
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(BenchReport {
+            schema: schema.to_string(),
+            label: v
+                .get("label")
+                .and_then(Json::as_str)
+                .ok_or("report missing label")?
+                .to_string(),
+            cells,
+        })
+    }
+
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    pub fn load(path: &Path) -> Result<BenchReport, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+    }
+}
+
+/// Verdict of comparing two reports. `report` is a pure function of the
+/// two inputs and the threshold — byte-identical however the inputs were
+/// produced — so CI can diff it too.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareOutcome {
+    /// Human-readable comparison, one line per (cell, metric).
+    pub report: String,
+    /// One line per regression beyond the threshold; empty means pass.
+    pub regressions: Vec<String>,
+}
+
+impl CompareOutcome {
+    pub fn is_pass(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compare `new` against the `old` baseline. Cells are matched on
+/// (system, population, seed); unmatched cells are reported but never
+/// fail the comparison. The gating metrics are throughput
+/// (`events_per_sec`, lower is worse) and `wall_ms_per_sim_hour` (higher
+/// is worse); a relative change beyond `threshold` (0.15 = 15%) in the
+/// bad direction is a regression. Peak RSS and allocs/event are reported
+/// for trend reading but do not gate (they need the counting allocator
+/// and a quiet machine to be comparable).
+pub fn compare(old: &BenchReport, new: &BenchReport, threshold: f64) -> CompareOutcome {
+    let mut report = String::new();
+    let mut regressions = Vec::new();
+    let _ = writeln!(
+        report,
+        "comparing {:?} (old) vs {:?} (new), threshold {:.0}%",
+        old.label,
+        new.label,
+        threshold * 100.0
+    );
+    for cell in &new.cells {
+        let key = format!("{} p={} seed={}", cell.system, cell.population, cell.seed);
+        let Some(base) = old.cells.iter().find(|c| {
+            c.system == cell.system && c.population == cell.population && c.seed == cell.seed
+        }) else {
+            let _ = writeln!(report, "{key}: no baseline cell, skipped");
+            continue;
+        };
+        for (metric, old_v, new_v, higher_is_better) in [
+            (
+                "events_per_sec",
+                base.events_per_sec,
+                cell.events_per_sec,
+                true,
+            ),
+            (
+                "wall_ms_per_sim_hour",
+                base.wall_ms_per_sim_hour,
+                cell.wall_ms_per_sim_hour,
+                false,
+            ),
+        ] {
+            let change = if old_v.abs() < f64::EPSILON {
+                0.0
+            } else {
+                (new_v - old_v) / old_v
+            };
+            let regressed = if higher_is_better {
+                change < -threshold
+            } else {
+                change > threshold
+            };
+            let mark = if regressed { "REGRESSION" } else { "ok" };
+            let line = format!(
+                "{key}: {metric} {old_v:.1} -> {new_v:.1} ({:+.1}%) {mark}",
+                change * 100.0
+            );
+            let _ = writeln!(report, "{line}");
+            if regressed {
+                regressions.push(line);
+            }
+        }
+        let _ = writeln!(
+            report,
+            "{key}: peak_rss_bytes {} -> {} (info), allocs_per_event {:.2} -> {:.2} (info)",
+            base.peak_rss_bytes, cell.peak_rss_bytes, base.allocs_per_event, cell.allocs_per_event
+        );
+    }
+    if regressions.is_empty() {
+        let _ = writeln!(report, "PASS: no regression beyond threshold");
+    } else {
+        let _ = writeln!(report, "FAIL: {} regression(s)", regressions.len());
+    }
+    CompareOutcome {
+        report,
+        regressions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn cell(system: &str, pop: u64, eps: f64) -> RunPerf {
+        RunPerf {
+            system: system.to_string(),
+            population: pop,
+            seed: 1,
+            sim_hours: 2.0,
+            wall_ms: 1500.0,
+            events: 1_000_000,
+            events_per_sec: 0.0,
+            wall_ms_per_sim_hour: 0.0,
+            peak_rss_bytes: 64 << 20,
+            allocs: 5_000_000,
+            allocs_per_event: 0.0,
+            phases: vec![PhaseRow {
+                path: "deliver/gossip".into(),
+                count: 42,
+                total_ns: 9000,
+                self_ns: 9000,
+            }],
+            messages: vec![MsgRow {
+                class: "gossip".into(),
+                count: 42,
+                bytes: 84_000,
+            }],
+        }
+        .with_derived()
+        .patched_eps(eps)
+    }
+
+    impl RunPerf {
+        fn patched_eps(mut self, eps: f64) -> RunPerf {
+            if eps > 0.0 {
+                self.events_per_sec = eps;
+            }
+            self
+        }
+    }
+
+    #[test]
+    fn derived_fields_follow_raw_measurements() {
+        let c = cell("Flower-CDN", 500, 0.0);
+        assert!((c.events_per_sec - 1_000_000.0 / 1.5).abs() < 1.0);
+        assert!((c.wall_ms_per_sim_hour - 750.0).abs() < 1e-9);
+        assert!((c.allocs_per_event - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_round_trips_and_is_byte_stable() {
+        let r = BenchReport::new(
+            "seed",
+            vec![cell("Flower-CDN", 500, 0.0), cell("Squirrel", 500, 0.0)],
+        );
+        let text = r.to_json();
+        assert_eq!(text, r.to_json(), "serialization is byte-stable");
+        let back = BenchReport::parse(&text).unwrap();
+        assert_eq!(back.label, "seed");
+        assert_eq!(back.cells.len(), 2);
+        assert_eq!(back.cells[0].phases, r.cells[0].phases);
+        assert_eq!(back.cells[0].messages, r.cells[0].messages);
+        assert_eq!(back.cells[0].events, r.cells[0].events);
+        assert_eq!(text, back.to_json(), "parse∘serialize is the identity");
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema() {
+        let doc = r#"{"schema":"bench-v999","label":"x","cells":[]}"#;
+        assert!(BenchReport::parse(doc).is_err());
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_beyond_threshold() {
+        let old = BenchReport::new("old", vec![cell("Flower-CDN", 500, 1000.0)]);
+        let ok = BenchReport::new("new", vec![cell("Flower-CDN", 500, 950.0)]);
+        let bad = BenchReport::new("new", vec![cell("Flower-CDN", 500, 700.0)]);
+        assert!(
+            compare(&old, &ok, 0.15).is_pass(),
+            "-5% is within threshold"
+        );
+        let outcome = compare(&old, &bad, 0.15);
+        assert!(!outcome.is_pass(), "-30% must fail");
+        assert!(outcome.regressions[0].contains("events_per_sec"));
+    }
+
+    #[test]
+    fn compare_report_is_deterministic() {
+        let old = BenchReport::new("old", vec![cell("Flower-CDN", 500, 1000.0)]);
+        let new = BenchReport::new("new", vec![cell("Squirrel", 500, 900.0)]);
+        let a = compare(&old, &new, 0.15);
+        let b = compare(&old, &new, 0.15);
+        assert_eq!(a, b);
+        assert!(a.report.contains("no baseline cell"));
+        assert!(a.is_pass(), "unmatched cells never fail the comparison");
+    }
+}

@@ -33,6 +33,10 @@ pub use trace::{
 };
 pub use world::{Ctx, Node, NodeId, World, WorldStats};
 
+// The profiler handle worlds carry; re-exported so engine crates can name
+// it without a direct `profile` dependency.
+pub use profile::Profiler;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,6 +15,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
 
+use profile::Profiler;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -72,16 +73,27 @@ pub trait Node {
     fn on_leave(&mut self, _ctx: &mut Ctx<Self>) {}
 
     /// Stable protocol class of a message, used to label `MsgSend` /
-    /// `MsgDeliver` trace events and per-class message-rate gauges.
-    /// Only called when a trace sink is attached.
+    /// `MsgDeliver` trace events, per-class message-rate gauges and the
+    /// profiler's per-class dispatch phases. Only called when a trace sink
+    /// is attached or the profiler is enabled.
     fn msg_class(_msg: &Self::Msg) -> &'static str {
         "msg"
     }
 
     /// Stable protocol class of a timer, used to label `TimerSet` /
-    /// `TimerFire` trace events. Only called when a trace sink is attached.
+    /// `TimerFire` trace events and profiler phases. Only called when a
+    /// trace sink is attached or the profiler is enabled.
     fn timer_class(_timer: &Self::Timer) -> &'static str {
         "timer"
+    }
+
+    /// Estimated serialized size of `msg` on the wire, in bytes, for the
+    /// profiler's per-class overhead accounting. The default — the
+    /// message's in-memory size — is a floor; protocols whose messages
+    /// carry heap payloads (views, summaries) should override it. Only
+    /// called when the profiler is enabled.
+    fn msg_wire_bytes(msg: &Self::Msg) -> usize {
+        std::mem::size_of_val(msg)
     }
 }
 
@@ -213,6 +225,15 @@ pub struct WorldStats {
     pub removed: u64,
 }
 
+impl WorldStats {
+    /// Scheduler events processed so far: every queue pop the event loop
+    /// dispatched (deliveries, dead-destination drops, timer fires,
+    /// control events). The denominator of events/sec and allocs/event.
+    pub fn events_processed(&self) -> u64 {
+        self.delivered + self.dropped + self.timers + self.controls
+    }
+}
+
 /// Min-heap of pending events, keyed by (time, sequence).
 type EventQueue<N, C> = BinaryHeap<Reverse<QueuedEvent<<N as Node>::Msg, <N as Node>::Timer, C>>>;
 
@@ -229,6 +250,7 @@ pub struct World<N: Node, C> {
     stats: WorldStats,
     sinks: Vec<Box<dyn TraceSink>>,
     conditioner: LinkConditioner,
+    profiler: Profiler,
 }
 
 impl<N: Node, C> World<N, C> {
@@ -245,7 +267,27 @@ impl<N: Node, C> World<N, C> {
             stats: WorldStats::default(),
             sinks: Vec::new(),
             conditioner: LinkConditioner::new(seed),
+            profiler: Profiler::new(),
         }
+    }
+
+    /// Share a profiler handle with this world: the event loop opens a
+    /// phase scope per dispatched event (`deliver/<class>`,
+    /// `timer/<class>`, `control`) and accounts every send per message
+    /// class. The handle starts disabled — until [`Profiler::enable`] is
+    /// called the hot path pays one boolean load per event.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
+    }
+
+    /// The world's profiler handle (disabled unless the engine enabled it).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Pending events in the queue right now — the event-loop depth gauge.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
     }
 
     /// The per-link fault model (loss/duplication/jitter/partitions). Inert
@@ -425,6 +467,8 @@ impl<N: Node, C> World<N, C> {
                                 class: N::msg_class(&msg),
                             });
                         }
+                        let _phase = self.profiler.scope("deliver");
+                        let _class = self.profiler.scope_with(|| N::msg_class(&msg));
                         self.with_node(to, |node, ctx| node.on_message(ctx, from, msg));
                     } else {
                         self.stats.dropped += 1;
@@ -447,11 +491,14 @@ impl<N: Node, C> World<N, C> {
                                 class: N::timer_class(&timer),
                             });
                         }
+                        let _phase = self.profiler.scope("timer");
+                        let _class = self.profiler.scope_with(|| N::timer_class(&timer));
                         self.with_node(node, |n, ctx| n.on_timer(ctx, timer));
                     }
                 }
                 EventKind::Control(c) => {
                     self.stats.controls += 1;
+                    let _phase = self.profiler.scope("control");
                     on_control(self, c);
                 }
             }
@@ -507,6 +554,13 @@ impl<N: Node, C> World<N, C> {
             });
         }
         for (to, msg) in sends {
+            // One accounting entry per logical protocol send (conditioner
+            // duplicates are artifacts of the fault model, not overhead the
+            // protocol chose to pay).
+            if self.profiler.is_enabled() {
+                self.profiler
+                    .count_msg(N::msg_class(&msg), N::msg_wire_bytes(&msg) as u64);
+            }
             let mut delay = self.topology.latency(id, to).max(1);
             let mut copies = 1u32;
             if self.conditioner.is_active() {

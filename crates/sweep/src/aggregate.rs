@@ -125,7 +125,10 @@ fn json_escape(s: &str) -> String {
 }
 
 /// `summary.json`: the per-cell aggregates as a JSON array, keys and
-/// cells in deterministic order, trailing newline included.
+/// cells in deterministic order, trailing newline included. Cells that
+/// carry perf data (profiled sweeps only) gain a `perf` object with
+/// wall-clock and peak-RSS aggregates; unprofiled sweeps emit no perf
+/// keys, keeping their output byte-identical across machines.
 pub fn summary_json(results: &[CellResult]) -> String {
     let mut out = String::from("[");
     for (i, cell) in results.iter().enumerate() {
@@ -151,7 +154,28 @@ pub fn summary_json(results: &[CellResult]) -> String {
                 agg.mean, agg.stddev, agg.ci95
             );
         }
-        out.push_str("}}");
+        out.push('}');
+        if !cell.perf.is_empty() {
+            let wall = aggregate(&cell.perf.iter().map(|(_, p)| p.wall_ms).collect::<Vec<_>>());
+            let wall_max = cell
+                .perf
+                .iter()
+                .map(|(_, p)| p.wall_ms)
+                .fold(0.0_f64, f64::max);
+            let rss_max = cell
+                .perf
+                .iter()
+                .map(|(_, p)| p.peak_rss_bytes)
+                .max()
+                .unwrap_or(0);
+            let _ = write!(
+                out,
+                ",\"perf\":{{\"wall_ms_mean\":{:.3},\"wall_ms_max\":{wall_max:.3},\
+                 \"peak_rss_max\":{rss_max}}}",
+                wall.mean
+            );
+        }
+        out.push('}');
     }
     out.push_str("\n]\n");
     out
@@ -184,6 +208,7 @@ mod tests {
             system: System::FlowerCdn,
             population: 100,
             runs: vec![(1, summary(0.5, 1000)), (2, summary(0.7, 1000))],
+            perf: Vec::new(),
         }
     }
 
@@ -235,5 +260,33 @@ mod tests {
         assert_eq!(j1, j2);
         assert!(j1.contains("we\\\"ird"));
         assert!(j1.contains("\"hit_ratio\":{\"mean\":0.600000"));
+    }
+
+    #[test]
+    fn summary_json_perf_keys_only_when_profiled() {
+        let plain = cell();
+        assert!(!summary_json(std::slice::from_ref(&plain)).contains("\"perf\""));
+
+        let mut profiled = cell();
+        let perf = profile::RunPerf {
+            system: "Flower-CDN".into(),
+            population: 100,
+            seed: 1,
+            sim_hours: 1.0,
+            wall_ms: 250.0,
+            events: 1000,
+            events_per_sec: 0.0,
+            wall_ms_per_sim_hour: 0.0,
+            peak_rss_bytes: 64 << 20,
+            allocs: 0,
+            allocs_per_event: 0.0,
+            phases: Vec::new(),
+            messages: Vec::new(),
+        }
+        .with_derived();
+        profiled.perf = vec![(1, perf)];
+        let j = summary_json(std::slice::from_ref(&profiled));
+        assert!(j.contains("\"perf\":{\"wall_ms_mean\":250.000"));
+        assert!(j.contains("\"peak_rss_max\":67108864"));
     }
 }

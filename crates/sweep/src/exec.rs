@@ -24,6 +24,11 @@ pub struct SweepOpts {
     pub trace_dir: Option<PathBuf>,
     /// Print a live progress line (to stderr) as each run completes.
     pub progress: bool,
+    /// Enable the performance profiler in every run, filling each
+    /// [`CellResult::perf`]. Off by default: perf cells carry wall-clock
+    /// measurements, so they are the one sweep output that is *not*
+    /// byte-identical across machines or `--jobs` values.
+    pub profile: bool,
 }
 
 impl Default for SweepOpts {
@@ -33,6 +38,7 @@ impl Default for SweepOpts {
             gauge_period_ms: None,
             trace_dir: None,
             progress: false,
+            profile: false,
         }
     }
 }
@@ -50,6 +56,9 @@ pub struct CellResult {
     pub system: System,
     pub population: usize,
     pub runs: Vec<(u64, RunSummary)>,
+    /// One perf cell per profiled run, in seed order. Empty unless the
+    /// sweep ran with [`SweepOpts::profile`].
+    pub perf: Vec<(u64, profile::RunPerf)>,
 }
 
 impl CellResult {
@@ -88,13 +97,16 @@ fn safe_label(label: &str) -> String {
 }
 
 /// Run one (cell, seed) through the [`flower_cdn::SimDriver`] surface.
-/// Setup order (trace sink, gauges, scenario) matches
+/// Setup order (profiler, trace sink, gauges, scenario) matches
 /// [`flower_cdn::Instrumentation::apply`] so a sweep run reproduces a
 /// single-run harness invocation byte for byte.
 pub fn execute_cell(cell: &Cell, seed: u64, opts: &SweepOpts) -> RunResult {
     let mut params = cell.params.clone();
     params.seed = seed;
     run_system_with(cell.system, params, |sim| {
+        if opts.profile {
+            sim.enable_profiling();
+        }
         if let Some(dir) = &opts.trace_dir {
             let path = dir.join(format!("{}_s{seed}.jsonl", safe_label(&cell.label)));
             if let Some(parent) = path.parent() {
@@ -157,7 +169,8 @@ where
 /// entry point. Deterministic for any `opts.jobs`.
 pub fn run_grid(grid: &Grid, opts: &SweepOpts) -> Vec<CellResult> {
     let grouped = run_cells(grid, opts, |cell, seed| {
-        execute_cell(cell, seed, opts).summary()
+        let r = execute_cell(cell, seed, opts);
+        (r.summary(), r.perf)
     });
     grid.cells
         .iter()
@@ -166,7 +179,11 @@ pub fn run_grid(grid: &Grid, opts: &SweepOpts) -> Vec<CellResult> {
             label: cell.label.clone(),
             system: cell.system,
             population: cell.params.population,
-            runs,
+            perf: runs
+                .iter()
+                .filter_map(|(s, (_, p))| p.clone().map(|p| (*s, p)))
+                .collect(),
+            runs: runs.into_iter().map(|(s, (sum, _))| (s, sum)).collect(),
         })
         .collect()
 }
