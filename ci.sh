@@ -17,6 +17,9 @@ cargo fmt --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> loopback cluster smoke (5 live nodes, failure + re-founding)"
+bash scripts/loopback_smoke.sh
+
 echo "==> resilience smoke (scripted faults, recovery asserted)"
 cargo run --release -p flower-bench --bin resilience -- --quick --assert-recovery
 

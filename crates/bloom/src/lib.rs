@@ -135,6 +135,30 @@ impl BloomFilter {
     pub fn byte_len(&self) -> usize {
         self.bits.len() * 8
     }
+
+    /// The raw bit words, for serialization.
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Rebuild a filter from serialized parts (the inverse of reading
+    /// [`BloomFilter::bit_len`], [`BloomFilter::hash_count`],
+    /// [`BloomFilter::inserted`] and [`BloomFilter::words`]).
+    ///
+    /// Returns `None` if the word count does not match `m` or either
+    /// parameter is zero, so codecs can reject malformed frames without
+    /// panicking.
+    pub fn from_parts(m: usize, k: u32, items: usize, words: Vec<u64>) -> Option<BloomFilter> {
+        if m == 0 || k == 0 || words.len() != m.div_ceil(64) {
+            return None;
+        }
+        Some(BloomFilter {
+            bits: words,
+            m,
+            k,
+            items,
+        })
+    }
 }
 
 /// A counting Bloom filter supporting deletion, with 8-bit saturating

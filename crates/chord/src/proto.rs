@@ -23,7 +23,7 @@ pub enum StepResult {
 }
 
 /// Chord wire messages.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ChordMsg {
     /// Routing step request for `key` (iterative lookup, correlated by the
     /// initiator-scoped `token`). `from` identifies the asking node on the

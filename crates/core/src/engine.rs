@@ -16,7 +16,11 @@ use crate::bootstrap::{Bootstrap, SharedBootstrap};
 use crate::chaos_driver::{self, OriginDial};
 use crate::config::SimParams;
 use crate::dring::DirPosition;
+use crate::host::{SimHost, TapLog};
 use crate::peer::{FlowerPeer, FlowerReport, PeerCtx};
+
+/// The simulator node type hosting the Flower-CDN machine.
+pub type FlowerHost = SimHost<FlowerPeer>;
 
 /// Engine-level control events scheduled into the simulation.
 pub enum Control {
@@ -239,7 +243,7 @@ pub struct FlowerSim {
     params: Rc<SimParams>,
     catalog: Rc<Catalog>,
     bootstrap: SharedBootstrap,
-    world: World<FlowerPeer, Control>,
+    world: World<FlowerHost, Control>,
     /// Per-website origin server coordinates.
     origins: Vec<Point>,
     origin_dial: Rc<OriginDial>,
@@ -270,7 +274,7 @@ impl FlowerSim {
             })
             .collect();
         let bootstrap = Bootstrap::shared();
-        let world: World<FlowerPeer, Control> = World::new(topology, params.seed);
+        let world: World<FlowerHost, Control> = World::new(topology, params.seed);
 
         let mut sim = FlowerSim {
             params: Rc::clone(&params),
@@ -321,9 +325,12 @@ impl FlowerSim {
                 .topology()
                 .sample_point_in(loc, &mut self.engine_rng);
             let pcx = self.peer_ctx(ws, at);
+            let run_seed = self.params.seed;
             let spawned = self.world.spawn(at, |me, locality| {
                 debug_assert_eq!(me, me_ref.node);
-                FlowerPeer::new_initial_directory(pcx, me, locality, position, chord, actions)
+                let peer =
+                    FlowerPeer::new_initial_directory(pcx, me, locality, position, chord, actions);
+                SimHost::new(run_seed, me, peer)
             });
             debug_assert_eq!(spawned, me_ref.node);
             self.bootstrap.borrow_mut().add(me_ref);
@@ -402,7 +409,9 @@ impl FlowerSim {
                     origin_dial: Rc::clone(&dial),
                     profiler: world.profiler().clone(),
                 };
-                let id = world.spawn(at, |me, locality| FlowerPeer::new_client(pcx, me, locality));
+                let id = world.spawn(at, |me, locality| {
+                    SimHost::new(params.seed, me, FlowerPeer::new_client(pcx, me, locality))
+                });
                 let end_at = world.now() + lifetime_ms;
                 let end = if graceful {
                     Control::Leave(id)
@@ -460,7 +469,7 @@ impl FlowerSim {
     }
 
     /// Access the world (tests and ad-hoc inspection).
-    pub fn world(&self) -> &World<FlowerPeer, Control> {
+    pub fn world(&self) -> &World<FlowerHost, Control> {
         &self.world
     }
 
@@ -473,8 +482,29 @@ impl FlowerSim {
             .topology()
             .sample_point_in(locality, &mut self.engine_rng);
         let pcx = self.peer_ctx(website, at);
-        self.world
-            .spawn(at, |me, loc| FlowerPeer::new_client(pcx, me, loc))
+        let run_seed = self.params.seed;
+        self.world.spawn(at, |me, loc| {
+            SimHost::new(run_seed, me, FlowerPeer::new_client(pcx, me, loc))
+        })
+    }
+
+    /// As [`FlowerSim::spawn_client`], but recording every machine
+    /// input/output exchange into `log` (the deterministic-replay test).
+    pub fn spawn_client_tapped(
+        &mut self,
+        website: WebsiteId,
+        locality: LocalityId,
+        log: TapLog<FlowerPeer>,
+    ) -> NodeId {
+        let at = self
+            .world
+            .topology()
+            .sample_point_in(locality, &mut self.engine_rng);
+        let pcx = self.peer_ctx(website, at);
+        let run_seed = self.params.seed;
+        self.world.spawn(at, |me, loc| {
+            SimHost::tapped(run_seed, me, FlowerPeer::new_client(pcx, me, loc), log)
+        })
     }
 
     /// Failure injection: silently kill a specific peer right now (tests).
@@ -488,6 +518,12 @@ impl FlowerSim {
     pub fn leave_peer(&mut self, id: NodeId) {
         self.world.leave(id);
         self.bootstrap.borrow_mut().remove(id);
+    }
+
+    /// The shared rendezvous registry (replay tests snapshot its t=0
+    /// contents to reconstruct what a recorded machine saw).
+    pub fn bootstrap_registry(&self) -> SharedBootstrap {
+        Rc::clone(&self.bootstrap)
     }
 
     /// Live directory peers with their positions and loads.
@@ -657,7 +693,7 @@ impl crate::driver::SimDriver for FlowerSim {
 
 /// One gauge sample of a Flower-CDN world: population, D-ring size, petal
 /// size statistics, and per-class delivery rates.
-fn sample_flower_gauges(g: &mut GaugeState, world: &World<FlowerPeer, Control>) {
+fn sample_flower_gauges(g: &mut GaugeState, world: &World<FlowerHost, Control>) {
     let at = world.now().as_millis();
     let mut pop = 0usize;
     let mut dirs = 0usize;
@@ -695,7 +731,7 @@ fn sample_flower_gauges(g: &mut GaugeState, world: &World<FlowerPeer, Control>) 
 /// link faults, origin brownouts) go through [`chaos_driver`], which hands
 /// back the auto-heal tail to schedule.
 fn apply_flower_chaos(
-    world: &mut World<FlowerPeer, Control>,
+    world: &mut World<FlowerHost, Control>,
     action: chaos::FaultAction,
     rng: &mut StdRng,
     bootstrap: &SharedBootstrap,

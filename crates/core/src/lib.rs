@@ -36,28 +36,23 @@
 //! assert!(result.stats.hit_ratio() >= 0.0 && result.stats.hit_ratio() <= 1.0);
 //! ```
 
-pub mod bootstrap;
+// Protocol modules live in `flower-proto` (sans-io state machines); they
+// are re-exported here so `flower_cdn::msg::...`-style paths keep working.
+pub use flower_proto::{
+    api, bootstrap, config, directory, dirinfo, dring, maintenance, msg, peer, qid, query, store,
+    tags,
+};
+
 pub mod chaos_driver;
-pub mod config;
-pub mod directory;
-pub mod dirinfo;
-pub mod dring;
 pub mod driver;
 pub mod engine;
 pub mod experiments;
+pub mod host;
 pub mod invariants;
-pub mod maintenance;
-pub mod msg;
-pub mod peer;
-pub mod qid;
-pub mod query;
 pub mod squirrel;
-pub mod store;
-pub mod tags;
 
 pub use bootstrap::{Bootstrap, SharedBootstrap};
 pub use chaos::{FaultAction, Scenario};
-pub use chaos_driver::OriginDial;
 pub use config::SimParams;
 pub use directory::{DirectoryIndex, DirectorySnapshot};
 pub use dirinfo::DirInfo;
@@ -68,6 +63,11 @@ pub use experiments::{
     run_comparison, run_comparison_instrumented, run_system, run_system_with, shape_params,
     ComparisonRun, Instrumentation, System,
 };
+pub use flower_proto::{
+    machine_rng, machine_seed, ApiCall, ApiResp, Env, Fx, Input, Machine, OriginDial, Output,
+    ProviderKind, RoleKind,
+};
+pub use host::{SimHost, TapEntry, TapLog};
 pub use invariants::InvariantChecker;
 pub use msg::{FlowerMsg, FlowerTimer, RoutePayload, Summary};
 pub use peer::{FlowerPeer, FlowerReport, PeerCtx, Role};

@@ -1,0 +1,156 @@
+//! Deterministic replay: a sans-io machine is a pure function of its
+//! construction blueprint, its host RNG and its input sequence.
+//!
+//! The simulator runs a scripted scenario with a **tapped** client: the
+//! [`SimHost`] tap records every `(now, input, outputs)` exchange the
+//! machine performs, including a directory failure and the client's §5.2.2
+//! replacement take-over. A scripted harness then rebuilds the machine
+//! from scratch — same blueprint, same `machine_rng` derivation, a
+//! reconstructed bootstrap registry — and feeds it the recorded inputs at
+//! the recorded times. Every output stream must match the recording
+//! byte-for-byte (compared via `Debug`).
+//!
+//! This is the property that lets one protocol core run under both the
+//! simulator and the networked node: nothing outside (inputs, env, the
+//! shared registry script) influences what the machine emits.
+
+use std::rc::Rc;
+
+use flower_cdn::{
+    machine_rng, Bootstrap, Env, FlowerPeer, FlowerReport, FlowerSim, Machine, Output, PeerCtx,
+    SimDriver, SimParams, TapEntry, TapLog,
+};
+use simnet::{LocalityId, Time};
+use workload::WebsiteId;
+
+/// One website under test anchored by a 4-member D-ring, one locality, no
+/// Poisson arrivals and no natural deaths: every event in the run is
+/// either scripted by the test or emitted by the machines themselves.
+fn scripted_params(seed: u64) -> SimParams {
+    let horizon = 2 * 3_600_000;
+    let mut p = SimParams::quick(10, horizon);
+    p.seed = seed;
+    p.population = 0; // arrival rate 0: no unscripted peers
+    p.catalog.websites = 4;
+    p.catalog.active_websites = 1;
+    p.catalog.objects_per_site = 40;
+    p.topology.localities = 1;
+    p.mean_uptime_ms = horizon * 1_000;
+    p.query_period_ms = 120_000;
+    p.gossip_period_ms = 600_000;
+    p
+}
+
+/// Debug-render an exchange's outputs (the byte stream under comparison).
+fn render(outputs: &[Output<FlowerPeer>]) -> String {
+    format!("{outputs:#?}")
+}
+
+#[test]
+fn tapped_client_replays_byte_identically() {
+    let seed = 0xD1CE;
+    let mut sim = FlowerSim::new(scripted_params(seed));
+
+    // Snapshot the rendezvous registry before anything runs: the replay
+    // registry must present the same members in the same order.
+    let initial_members = sim.bootstrap_registry().borrow().members().to_vec();
+    assert_eq!(initial_members.len(), 4, "one directory per website");
+
+    let log: TapLog<FlowerPeer> = TapLog::default();
+    let c = sim.spawn_client_tapped(WebsiteId(0), LocalityId(0), Rc::clone(&log));
+
+    // Phase 1: join the petal, issue queries, gossip, keepalive.
+    let fail_at = Time::from_mins(30);
+    sim.run_until(fail_at);
+    let victim = sim
+        .directories()
+        .into_iter()
+        .find(|(_, p, _)| p.website == WebsiteId(0))
+        .map(|(id, _, _)| id)
+        .expect("website 0 directory alive");
+    assert_ne!(victim, c);
+
+    // Phase 2: kill the directory. The engine prunes it from the shared
+    // registry (rendezvous liveness checking) — the one external mutation
+    // the replay harness must mirror.
+    sim.fail_peer(victim);
+    sim.run_until(Time::from_mins(75));
+
+    // The client was the petal's only content peer, so it must be the
+    // replacement directory — the recording covers the whole recovery arc.
+    let peer = sim.world().node(c).expect("client alive");
+    assert!(
+        peer.is_directory(),
+        "sole content peer must take over the failed directory"
+    );
+    let blueprint: PeerCtx = peer.peer_ctx().clone();
+    let entries = log.borrow();
+    assert!(
+        entries.len() > 20,
+        "recording too short to be meaningful: {} exchanges",
+        entries.len()
+    );
+    let recorded_replacement = entries.iter().any(|e| {
+        e.outputs.iter().any(|o| {
+            matches!(
+                o,
+                Output::Report(FlowerReport::BecameDirectory {
+                    replacement: true,
+                    ..
+                })
+            )
+        })
+    });
+    assert!(
+        recorded_replacement,
+        "the tap must have recorded the §5.2.2 take-over"
+    );
+
+    // --- Scripted replay: fresh machine, fresh RNG, fresh registry. ---
+    let registry = Bootstrap::shared();
+    for m in &initial_members {
+        registry.borrow_mut().add(*m);
+    }
+    let pcx = PeerCtx {
+        bootstrap: Rc::clone(&registry),
+        ..blueprint
+    };
+    let mut machine = FlowerPeer::new_client(pcx, c, LocalityId(0));
+    let mut rng = machine_rng(seed, c);
+
+    let mut fail_applied = false;
+    for (i, e) in entries.iter().enumerate() {
+        let TapEntry {
+            now,
+            input,
+            outputs,
+        } = e;
+        // Mirror the engine's registry pruning at the scripted failure
+        // point (all phase-1 events fire at or before `fail_at`).
+        if !fail_applied && now.as_millis() > fail_at.as_millis() {
+            registry.borrow_mut().remove(victim);
+            fail_applied = true;
+        }
+        let env = Env {
+            now: *now,
+            me: c,
+            locality: LocalityId(0),
+            rng: &mut rng,
+            tracing: false,
+        };
+        let replayed = machine.handle(env, input.clone());
+        assert_eq!(
+            render(&replayed),
+            render(outputs),
+            "exchange {i} of {} diverged (t = {} ms, input = {:?})",
+            entries.len(),
+            now.as_millis(),
+            input
+        );
+    }
+    assert!(fail_applied, "replay never crossed the failure point");
+    assert!(
+        machine.is_directory(),
+        "replayed machine must end in the recorded role"
+    );
+}

@@ -25,7 +25,7 @@ use crate::view::{Entry, View};
 
 /// Wire messages of the shuffle protocol. `P` is the application payload
 /// piggybacked on every view entry (Flower-CDN: the content summary).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum GossipMsg<P> {
     /// Shuffle initiation carrying a subset of the initiator's view
     /// (always including a fresh descriptor of the initiator itself).

@@ -1,0 +1,181 @@
+//! CLI client for a running `flower-node`.
+//!
+//! ```text
+//! flower-cli --addr 127.0.0.1:46101 ping
+//! flower-cli --addr 127.0.0.1:46101 put 0:7
+//! flower-cli --addr 127.0.0.1:46102 get 0:7
+//! flower-cli --addr 127.0.0.1:46102 find-directory
+//! flower-cli --addr 127.0.0.1:46100 stop
+//! ```
+//!
+//! Objects are written `website:rank`. `get` retries while the node is
+//! busy (one query in flight per peer) until `--timeout` expires; every
+//! other command is a single round trip. Exit code 0 on success, 1 on
+//! failure or timeout, 2 on usage errors.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use flower_net::runtime::{api_request, shutdown};
+use flower_net::wire::WireError;
+use flower_proto::{ApiCall, ApiResp};
+use workload::{ObjectId, WebsiteId};
+
+const USAGE: &str = "usage: flower-cli --addr <ip:port> [--timeout <secs>] <command>
+commands:
+  ping                 liveness + role probe
+  put <ws:rank>        store an object on the node and advertise it
+  get <ws:rank>        resolve an object through the flower query path
+  find-directory       report the directory instance the node trusts
+  stop                 ask the node to exit cleanly";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("flower-cli: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_object(s: &str) -> ObjectId {
+    let Some((ws, rank)) = s.split_once(':') else {
+        fail("objects are written website:rank, e.g. 0:7");
+    };
+    let (Ok(ws), Ok(rank)) = (ws.parse::<u16>(), rank.parse::<u16>()) else {
+        fail("objects are written website:rank, e.g. 0:7");
+    };
+    ObjectId {
+        website: WebsiteId(ws),
+        rank,
+    }
+}
+
+fn print_resp(resp: &ApiResp) {
+    match resp {
+        ApiResp::Pong {
+            node,
+            role,
+            website,
+            locality,
+            store_len,
+            view_len,
+        } => println!(
+            "pong from {node}: role {role:?}, website {}, locality {}, {store_len} objects, view {view_len}",
+            website.0, locality.0
+        ),
+        ApiResp::PutOk { object } => {
+            println!("put ok: {}:{}", object.website.0, object.rank)
+        }
+        ApiResp::Got {
+            object,
+            provider,
+            elapsed_ms,
+        } => println!(
+            "got {}:{} from {provider:?} in {elapsed_ms} ms",
+            object.website.0, object.rank
+        ),
+        ApiResp::Directory { dir: Some(d) } => println!(
+            "directory: instance {:?} held by {} (age {})",
+            d.position, d.holder.node, d.age
+        ),
+        ApiResp::Directory { dir: None } => println!("directory: none known"),
+        ApiResp::Busy => println!("busy"),
+    }
+}
+
+fn main() {
+    let mut addr: Option<SocketAddr> = None;
+    let mut timeout = Duration::from_secs(30);
+    let mut command: Vec<String> = Vec::new();
+
+    let mut args = std::env::args();
+    args.next();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let Some(a) = args.next() else {
+                    fail("--addr needs a value");
+                };
+                let Ok(a) = a.parse() else {
+                    fail("bad --addr, expected ip:port");
+                };
+                addr = Some(a);
+            }
+            "--timeout" => {
+                let Some(t) = args.next() else {
+                    fail("--timeout needs a value");
+                };
+                let Ok(t) = t.parse::<u64>() else {
+                    fail("bad --timeout, expected seconds");
+                };
+                timeout = Duration::from_secs(t);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            _ => command.push(arg),
+        }
+    }
+    let Some(addr) = addr else {
+        fail("--addr is required");
+    };
+    if command.is_empty() {
+        fail("a command is required");
+    }
+
+    let call = match command[0].as_str() {
+        "ping" => ApiCall::Ping,
+        "put" => {
+            if command.len() != 2 {
+                fail("put takes one object");
+            }
+            ApiCall::Put {
+                object: parse_object(&command[1]),
+            }
+        }
+        "get" => {
+            if command.len() != 2 {
+                fail("get takes one object");
+            }
+            ApiCall::Get {
+                object: parse_object(&command[1]),
+            }
+        }
+        "find-directory" => ApiCall::FindDirectory,
+        "stop" => {
+            if let Err(e) = shutdown(addr, timeout) {
+                eprintln!("flower-cli: stop failed: {e}");
+                std::process::exit(1);
+            }
+            println!("stopped");
+            return;
+        }
+        other => fail(&format!("unknown command {other}")),
+    };
+
+    // Busy means "one query already in flight" — retry until the node
+    // frees up or the deadline passes.
+    let deadline = Instant::now() + timeout;
+    loop {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            eprintln!("flower-cli: timed out");
+            std::process::exit(1);
+        }
+        match api_request(addr, call, left) {
+            Ok(ApiResp::Busy) if matches!(call, ApiCall::Get { .. }) => {
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            Ok(resp) => {
+                print_resp(&resp);
+                return;
+            }
+            Err(WireError::Io(e)) => {
+                eprintln!("flower-cli: {e}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("flower-cli: protocol error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

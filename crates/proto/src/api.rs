@@ -1,0 +1,72 @@
+//! The local API surface of a flower node: what `flower-cli` can ask a
+//! running node over its control connection. API calls enter the machine as
+//! [`Input::Api`](crate::io::Input::Api) and are answered with
+//! [`Output::Respond`](crate::io::Output::Respond).
+
+use simnet::{LocalityId, NodeId};
+use workload::{ObjectId, WebsiteId};
+
+use crate::dirinfo::DirInfo;
+
+/// A request from a local client (CLI, RPC surface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApiCall {
+    /// Liveness + role probe.
+    Ping,
+    /// Install `object` in this node's store and advertise it to the
+    /// node's directory.
+    Put { object: ObjectId },
+    /// Resolve `object` through the full Flower query path (own store →
+    /// petal summaries → directory → sibling walk → origin).
+    Get { object: ObjectId },
+    /// Report the directory instance this node currently trusts.
+    FindDirectory,
+}
+
+/// This node's current role, as reported over the API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoleKind {
+    Client,
+    Content,
+    Directory,
+}
+
+/// Who ultimately served a `Get`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProviderKind {
+    /// Already in the local store.
+    Local,
+    /// A petal content peer.
+    ContentPeer,
+    /// The directory instance itself.
+    DirectoryPeer,
+    /// The origin server (a P2P miss, but the object was delivered).
+    Origin,
+}
+
+/// The machine's answer to an [`ApiCall`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiResp {
+    Pong {
+        node: NodeId,
+        role: RoleKind,
+        website: WebsiteId,
+        locality: LocalityId,
+        store_len: u64,
+        view_len: u64,
+    },
+    PutOk {
+        object: ObjectId,
+    },
+    Got {
+        object: ObjectId,
+        provider: ProviderKind,
+        elapsed_ms: u64,
+    },
+    Directory {
+        dir: Option<DirInfo>,
+    },
+    /// The node cannot serve the call right now (e.g. a query is already
+    /// in flight). The client may retry.
+    Busy,
+}

@@ -60,6 +60,12 @@ impl Bootstrap {
         self.members.retain(|m| m.node != node);
     }
 
+    /// Current members in registration order (replay harnesses snapshot
+    /// this to reconstruct the registry a recorded run saw).
+    pub fn members(&self) -> &[NodeRef] {
+        &self.members
+    }
+
     /// A uniformly random member not in `exclude` (peers exclude entries
     /// they already found unresponsive).
     pub fn pick(&self, rng: &mut impl Rng, exclude: &[NodeId]) -> Option<NodeRef> {

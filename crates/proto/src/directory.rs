@@ -27,7 +27,7 @@ pub struct DirectoryIndex {
 }
 
 /// Serializable snapshot for hand-over messages.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DirectorySnapshot {
     /// `(peer, its objects, last-heard timestamp)`.
     pub entries: Vec<(NodeId, Vec<ObjectId>, u64)>,

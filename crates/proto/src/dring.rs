@@ -64,6 +64,20 @@ impl DirPosition {
         DirPosition::new(website, locality, 0)
     }
 
+    /// Non-panicking constructor for codecs: `None` when `locality` or
+    /// `instance` is outside the packed-id ranges.
+    pub fn checked(website: WebsiteId, locality: LocalityId, instance: u32) -> Option<DirPosition> {
+        if instance < MAX_INSTANCES && locality.0 < MAX_LOCALITIES {
+            Some(DirPosition {
+                website,
+                locality,
+                instance,
+            })
+        } else {
+            None
+        }
+    }
+
     /// The D-ring id of this position.
     pub fn chord_id(&self) -> ChordId {
         let ws_part = website_block(self.website) << WS_SHIFT;

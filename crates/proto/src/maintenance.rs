@@ -5,12 +5,13 @@
 
 use chord::{Chord, ChordId, NodeRef};
 use rand::Rng;
-use simnet::{Ctx, LocalityId, NodeId};
+use simnet::{LocalityId, NodeId};
 use workload::{ObjectId, WebsiteId};
 
 use crate::directory::{DirectoryIndex, DirectorySnapshot};
 use crate::dirinfo::DirInfo;
 use crate::dring::DirPosition;
+use crate::io::Fx;
 use crate::msg::{FlowerMsg, FlowerTimer, Summary};
 use crate::peer::{DirectoryRole, FlowerPeer, FlowerReport, ProtocolEvent, Role};
 use crate::qid::QueryId;
@@ -34,7 +35,7 @@ impl FlowerPeer {
     // Petal gossip (§3.1, §5.1)
     // ==================================================================
 
-    pub(crate) fn on_gossip_timer(&mut self, ctx: &mut Ctx<Self>) {
+    pub(crate) fn on_gossip_timer(&mut self, ctx: &mut Fx<Self>) {
         if !matches!(self.role, Role::Content) {
             return; // directories stop shuffling; clients haven't started
         }
@@ -65,7 +66,7 @@ impl FlowerPeer {
 
     pub(crate) fn on_gossip(
         &mut self,
-        ctx: &mut Ctx<Self>,
+        ctx: &mut Fx<Self>,
         from: NodeId,
         inner: gossip::GossipMsg<Summary>,
         dir_info: Option<DirInfo>,
@@ -122,7 +123,7 @@ impl FlowerPeer {
     // Keepalive / push (§5.1)
     // ==================================================================
 
-    pub(crate) fn on_keepalive_timer(&mut self, ctx: &mut Ctx<Self>) {
+    pub(crate) fn on_keepalive_timer(&mut self, ctx: &mut Fx<Self>) {
         if !matches!(self.role, Role::Content) {
             return;
         }
@@ -167,7 +168,7 @@ impl FlowerPeer {
     /// Push outside the keepalive schedule, right after the threshold is
     /// crossed (§5.1: "whenever the percentage of changes reaches a
     /// threshold").
-    pub(crate) fn maybe_push(&mut self, ctx: &mut Ctx<Self>) {
+    pub(crate) fn maybe_push(&mut self, ctx: &mut Fx<Self>) {
         if !matches!(self.role, Role::Content) {
             return;
         }
@@ -205,7 +206,7 @@ impl FlowerPeer {
     }
 
     /// Directory side: keepalive refreshes liveness.
-    pub(crate) fn on_keepalive(&mut self, ctx: &mut Ctx<Self>, from: NodeId, seq: u64) {
+    pub(crate) fn on_keepalive(&mut self, ctx: &mut Fx<Self>, from: NodeId, seq: u64) {
         let Some(dir) = self.self_dir_info() else {
             return; // stale dir-info at sender → its ack deadline fires
         };
@@ -219,7 +220,7 @@ impl FlowerPeer {
     /// (re-registration after replacement) also implicitly registers.
     pub(crate) fn on_push(
         &mut self,
-        ctx: &mut Ctx<Self>,
+        ctx: &mut Fx<Self>,
         from: NodeId,
         seq: u64,
         objects: Vec<ObjectId>,
@@ -234,7 +235,7 @@ impl FlowerPeer {
         }
     }
 
-    pub(crate) fn on_dir_ack(&mut self, _ctx: &mut Ctx<Self>, seq: u64, dir: DirInfo) {
+    pub(crate) fn on_dir_ack(&mut self, _ctx: &mut Fx<Self>, seq: u64, dir: DirInfo) {
         if self.awaiting_ack == Some(seq) {
             self.awaiting_ack = None;
             // The ack names the current holder — adopt it fresh.
@@ -242,7 +243,7 @@ impl FlowerPeer {
         }
     }
 
-    pub(crate) fn on_dir_ack_deadline(&mut self, ctx: &mut Ctx<Self>, seq: u64) {
+    pub(crate) fn on_dir_ack_deadline(&mut self, ctx: &mut Fx<Self>, seq: u64) {
         if self.awaiting_ack != Some(seq) {
             return;
         }
@@ -258,7 +259,7 @@ impl FlowerPeer {
     /// Our directory looks dead. Start the replacement protocol: route a
     /// claim on its position; the first petal peer whose claim reaches the
     /// vacant position's ring owner takes over (§5.2.2).
-    pub(crate) fn suspect_directory(&mut self, ctx: &mut Ctx<Self>) {
+    pub(crate) fn suspect_directory(&mut self, ctx: &mut Fx<Self>) {
         if self.claim.is_some() || self.is_directory() {
             return;
         }
@@ -268,7 +269,7 @@ impl FlowerPeer {
         self.start_claim(ctx, di.position);
     }
 
-    pub(crate) fn start_claim(&mut self, ctx: &mut Ctx<Self>, position: DirPosition) {
+    pub(crate) fn start_claim(&mut self, ctx: &mut Fx<Self>, position: DirPosition) {
         let seq = self.alloc_seq();
         let attempts = match &self.claim {
             Some(c) => c.attempts + 1,
@@ -319,7 +320,7 @@ impl FlowerPeer {
         );
     }
 
-    pub(crate) fn on_claim_deadline(&mut self, ctx: &mut Ctx<Self>, claim_seq: u64) {
+    pub(crate) fn on_claim_deadline(&mut self, ctx: &mut Fx<Self>, claim_seq: u64) {
         let Some(c) = &self.claim else {
             return;
         };
@@ -335,7 +336,7 @@ impl FlowerPeer {
     /// exactly one claimer at a time.
     pub(crate) fn on_routed_claim(
         &mut self,
-        ctx: &mut Ctx<Self>,
+        ctx: &mut Fx<Self>,
         claimer: NodeId,
         position: DirPosition,
         hops: u32,
@@ -414,7 +415,7 @@ impl FlowerPeer {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn arbitrate_client_takeover(
         &mut self,
-        ctx: &mut Ctx<Self>,
+        ctx: &mut Fx<Self>,
         key: ChordId,
         client: NodeId,
         website: WebsiteId,
@@ -480,7 +481,7 @@ impl FlowerPeer {
     /// We won a position: enter D-ring there (§5.2.2).
     pub(crate) fn on_claim_granted(
         &mut self,
-        ctx: &mut Ctx<Self>,
+        ctx: &mut Fx<Self>,
         position: DirPosition,
         seed: NodeRef,
     ) {
@@ -504,7 +505,7 @@ impl FlowerPeer {
     /// and re-register our content so the rebuilt index learns it (§5.2.2).
     pub(crate) fn on_claim_denied(
         &mut self,
-        ctx: &mut Ctx<Self>,
+        ctx: &mut Fx<Self>,
         position: DirPosition,
         holder: NodeRef,
     ) {
@@ -546,7 +547,7 @@ impl FlowerPeer {
 
     /// PetalUp split (§4): choose a managed content peer and promote it to
     /// the next instance position.
-    pub(crate) fn split_petal(&mut self, ctx: &mut Ctx<Self>, next_pos: DirPosition) {
+    pub(crate) fn split_petal(&mut self, ctx: &mut Fx<Self>, next_pos: DirPosition) {
         let me = self.me;
         let now = ctx.now();
         let Role::Directory(d) = &mut self.role else {
@@ -597,7 +598,7 @@ impl FlowerPeer {
     /// hand-over (with its index snapshot, §5.2.2).
     pub(crate) fn on_promote(
         &mut self,
-        ctx: &mut Ctx<Self>,
+        ctx: &mut Fx<Self>,
         position: DirPosition,
         seed: NodeRef,
         snapshot: Option<DirectorySnapshot>,
@@ -611,7 +612,7 @@ impl FlowerPeer {
     /// Switch into the directory role and join D-ring at `position`.
     pub(crate) fn become_directory(
         &mut self,
-        ctx: &mut Ctx<Self>,
+        ctx: &mut Fx<Self>,
         position: DirPosition,
         seed: NodeRef,
         snapshot: Option<DirectorySnapshot>,
@@ -675,7 +676,7 @@ impl FlowerPeer {
     // Directory housekeeping
     // ==================================================================
 
-    pub(crate) fn on_dir_sweep(&mut self, ctx: &mut Ctx<Self>) {
+    pub(crate) fn on_dir_sweep(&mut self, ctx: &mut Fx<Self>) {
         let now = ctx.now();
         let ttl = self.pcx.params.gossip_period_ms * 2 + self.pcx.params.rpc_timeout_ms * 4;
         let sweep = self.pcx.params.rpc_timeout_ms * 20;
@@ -704,7 +705,7 @@ impl FlowerPeer {
     /// *duplicate* holder with our exact ring id; exactly one of us is
     /// reachable as the position's owner, and the other must stand down or
     /// the petal's knowledge fragments forever.
-    pub(crate) fn on_position_check(&mut self, ctx: &mut Ctx<Self>) {
+    pub(crate) fn on_position_check(&mut self, ctx: &mut Fx<Self>) {
         let Role::Directory(d) = &mut self.role else {
             return;
         };
@@ -725,7 +726,7 @@ impl FlowerPeer {
     }
 
     /// Outcome of a position self-check. Two consecutive misses demote us.
-    pub(crate) fn position_check_result(&mut self, ctx: &mut Ctx<Self>, reachable: bool) {
+    pub(crate) fn position_check_result(&mut self, ctx: &mut Fx<Self>, reachable: bool) {
         let Role::Directory(d) = &mut self.role else {
             return;
         };
@@ -751,7 +752,7 @@ impl FlowerPeer {
     /// Stand down from the directory role: leave D-ring bookkeeping behind,
     /// deregister from the rendezvous service, and re-enter the petal as a
     /// fresh client (our store is re-announced on arrival).
-    pub(crate) fn demote_to_client(&mut self, ctx: &mut Ctx<Self>) {
+    pub(crate) fn demote_to_client(&mut self, ctx: &mut Fx<Self>) {
         if let Role::Directory(d) = &self.role {
             let pos = d.position;
             ctx.trace(tags::DEMOTED, || tags::pos_fields(pos));

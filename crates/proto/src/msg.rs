@@ -16,7 +16,7 @@ pub type Summary = BloomFilter;
 
 /// Payloads routed over D-ring (inside [`FlowerMsg::DRingRoute`] /
 /// [`FlowerMsg::Routed`]).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RoutePayload {
     /// A new client's query (§3.2) — or, with `object = None`, a plain
     /// petal-join request (peers of non-active websites, §6.1).
@@ -46,7 +46,7 @@ impl RoutePayload {
 }
 
 /// All messages exchanged by Flower-CDN peers.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum FlowerMsg {
     /// D-ring maintenance traffic between directory peers.
     Chord(ChordMsg),
@@ -213,7 +213,7 @@ impl FlowerMsg {
                 ..
             } => 56 + view_bytes(petal_view) + 8 * exclude.len(),
             FlowerMsg::DeadPeerReport { .. } => 8,
-            FlowerMsg::Retract { objects } => 8 + 8 * objects.len(),
+            FlowerMsg::Retract { objects } => 8 + 4 * objects.len(),
             FlowerMsg::ClaimGranted { .. } | FlowerMsg::ClaimDenied { .. } => 32,
             FlowerMsg::Fetch { .. } => 16,
             // The object body itself travels here; model it as the
@@ -232,13 +232,13 @@ impl FlowerMsg {
                     .sum::<usize>()
             }
             FlowerMsg::Keepalive { .. } => 8,
-            FlowerMsg::Push { objects, .. } => 16 + 8 * objects.len(),
+            FlowerMsg::Push { objects, .. } => 16 + 4 * objects.len(),
             FlowerMsg::DirAck { .. } => 40,
             FlowerMsg::Promote { snapshot, .. } => {
                 48 + snapshot.as_ref().map_or(0, |s| {
                     s.entries
                         .iter()
-                        .map(|(_, objs, _)| 24 + 8 * objs.len())
+                        .map(|(_, objs, _)| 24 + 4 * objs.len())
                         .sum()
                 })
             }

@@ -4,24 +4,27 @@
 //!
 //! The query path lives in [`crate::query`]; gossip, keepalive/push, claim
 //! and promotion logic in [`crate::maintenance`]. This module owns the
-//! struct, role bookkeeping, the [`simnet::Node`] dispatch and the D-ring
-//! (Chord) plumbing of directory peers.
+//! struct, role bookkeeping, the sans-io [`Machine`] dispatch and the
+//! D-ring (Chord) plumbing of directory peers.
 
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use cdn_metrics::QueryRecord;
+use cdn_metrics::{QueryRecord, ResolvedVia};
 use chord::{Chord, ChordAction, ChordId, NodeRef};
 use gossip::{Cyclon, ShuffleMode};
 use rand::Rng;
-use simnet::{Ctx, LocalityId, Node, NodeId, Time};
+use simnet::{LocalityId, NodeId, Time};
+
 use workload::{Catalog, ObjectId, WebsiteId};
 
+use crate::api::{ApiCall, ApiResp, ProviderKind, RoleKind};
 use crate::bootstrap::SharedBootstrap;
 use crate::config::SimParams;
 use crate::directory::DirectoryIndex;
 use crate::dirinfo::DirInfo;
 use crate::dring::DirPosition;
+use crate::io::{Env, Fx, Input, Machine, Output};
 use crate::msg::{FlowerMsg, FlowerTimer, RoutePayload, Summary};
 use crate::qid::QueryId;
 use crate::store::ContentStore;
@@ -38,7 +41,7 @@ pub struct PeerCtx {
     /// One-way latency to this website's origin server, ms.
     pub origin_latency_ms: u64,
     /// Shared origin health state: chaos brownouts add latency here.
-    pub origin_dial: Rc<crate::chaos_driver::OriginDial>,
+    pub origin_dial: Rc<crate::origin::OriginDial>,
     /// The engine's profiler handle (shared with the world). Disabled
     /// unless the run enables profiling; protocol hot spots (gossip
     /// summary builds, PetalUp scans, Bloom matching) open scopes on it.
@@ -145,6 +148,9 @@ pub struct PendingQuery {
     /// The bootstrap the in-flight route attempt went through; excluded
     /// from the next attempt if this one times out (partition backoff).
     pub last_bootstrap: Option<NodeId>,
+    /// Set when the query was issued by a local API `Get`: the token to
+    /// answer with [`ApiResp::Got`] on completion.
+    pub api_token: Option<u64>,
 }
 
 /// Phase of the pending query.
@@ -288,6 +294,12 @@ impl FlowerPeer {
         self.dir_info.as_ref()
     }
 
+    /// The context this peer was built with (replay harnesses clone it,
+    /// swapping in a reconstructed bootstrap registry).
+    pub fn peer_ctx(&self) -> &PeerCtx {
+        &self.pcx
+    }
+
     // ------------------------------------------------------------------
     // Small shared helpers
     // ------------------------------------------------------------------
@@ -312,7 +324,7 @@ impl FlowerPeer {
 
     /// Pick a bootstrap directory, avoiding recently failed ones (with a
     /// reset once everything is excluded).
-    pub(crate) fn pick_bootstrap(&mut self, ctx: &mut Ctx<Self>) -> Option<NodeRef> {
+    pub(crate) fn pick_bootstrap(&mut self, ctx: &mut Fx<Self>) -> Option<NodeRef> {
         let reg = self.pcx.bootstrap.borrow();
         match reg.pick(ctx.rng, &self.boot_exclude) {
             Some(r) => Some(r),
@@ -326,7 +338,7 @@ impl FlowerPeer {
 
     /// Apply Chord actions to the world; routes lookup completions to the
     /// D-ring forwarding logic.
-    pub(crate) fn apply_chord_actions(&mut self, ctx: &mut Ctx<Self>, actions: Vec<ChordAction>) {
+    pub(crate) fn apply_chord_actions(&mut self, ctx: &mut Fx<Self>, actions: Vec<ChordAction>) {
         for a in actions {
             match a {
                 ChordAction::Send { to, msg } => ctx.send(to.node, FlowerMsg::Chord(msg)),
@@ -368,7 +380,7 @@ impl FlowerPeer {
 
     /// Our D-ring join could not complete (seed died): revert to content
     /// peer; the position stays vacant and a later claim will retry.
-    fn on_dring_join_failed(&mut self, _ctx: &mut Ctx<Self>) {
+    fn on_dring_join_failed(&mut self, _ctx: &mut Fx<Self>) {
         if let Role::Directory(d) = &self.role {
             if !d.chord.is_joined() {
                 self.role = Role::Content;
@@ -381,7 +393,7 @@ impl FlowerPeer {
     /// (or handle it ourselves if we own the key).
     fn on_route_lookup_done(
         &mut self,
-        ctx: &mut Ctx<Self>,
+        ctx: &mut Fx<Self>,
         token: u64,
         key: ChordId,
         owner: NodeRef,
@@ -418,7 +430,7 @@ impl FlowerPeer {
         }
     }
 
-    fn on_route_lookup_failed(&mut self, ctx: &mut Ctx<Self>, token: u64) {
+    fn on_route_lookup_failed(&mut self, ctx: &mut Fx<Self>, token: u64) {
         let Role::Directory(d) = &mut self.role else {
             return;
         };
@@ -446,7 +458,7 @@ impl FlowerPeer {
     /// Entry point for payloads arriving at their ring owner (me).
     pub(crate) fn handle_routed(
         &mut self,
-        ctx: &mut Ctx<Self>,
+        ctx: &mut Fx<Self>,
         key: ChordId,
         payload: RoutePayload,
         hops: u32,
@@ -499,7 +511,7 @@ impl FlowerPeer {
     }
 
     /// A peer asked us (as its bootstrap) to route a payload over D-ring.
-    fn on_dring_route(&mut self, ctx: &mut Ctx<Self>, key: ChordId, payload: RoutePayload) {
+    fn on_dring_route(&mut self, ctx: &mut Fx<Self>, key: ChordId, payload: RoutePayload) {
         self.on_dring_route_with_hops(ctx, key, payload, 0);
     }
 
@@ -507,7 +519,7 @@ impl FlowerPeer {
     /// preserving the hop count already spent.
     pub(crate) fn on_dring_route_with_hops(
         &mut self,
-        ctx: &mut Ctx<Self>,
+        ctx: &mut Fx<Self>,
         key: ChordId,
         payload: RoutePayload,
         hops: u32,
@@ -528,12 +540,8 @@ impl FlowerPeer {
     }
 }
 
-impl Node for FlowerPeer {
-    type Msg = FlowerMsg;
-    type Timer = FlowerTimer;
-    type Report = FlowerReport;
-
-    fn on_start(&mut self, ctx: &mut Ctx<Self>) {
+impl FlowerPeer {
+    pub(crate) fn on_start(&mut self, ctx: &mut Fx<Self>) {
         let startup = std::mem::take(&mut self.startup_chord_actions);
         match &self.role {
             Role::Directory(d) => {
@@ -566,7 +574,7 @@ impl Node for FlowerPeer {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<Self>, from: NodeId, msg: FlowerMsg) {
+    pub(crate) fn on_message(&mut self, ctx: &mut Fx<Self>, from: NodeId, msg: FlowerMsg) {
         match msg {
             FlowerMsg::Chord(m) => {
                 if let Role::Directory(d) = &mut self.role {
@@ -638,7 +646,7 @@ impl Node for FlowerPeer {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<Self>, timer: FlowerTimer) {
+    pub(crate) fn on_timer(&mut self, ctx: &mut Fx<Self>, timer: FlowerTimer) {
         match timer {
             FlowerTimer::Chord(t) => {
                 if let Role::Directory(d) = &mut self.role {
@@ -665,19 +673,7 @@ impl Node for FlowerPeer {
         }
     }
 
-    fn msg_class(msg: &FlowerMsg) -> &'static str {
-        msg.class()
-    }
-
-    fn timer_class(timer: &FlowerTimer) -> &'static str {
-        timer.class()
-    }
-
-    fn msg_wire_bytes(msg: &FlowerMsg) -> usize {
-        msg.wire_bytes()
-    }
-
-    fn on_leave(&mut self, ctx: &mut Ctx<Self>) {
+    pub(crate) fn on_leave(&mut self, ctx: &mut Fx<Self>) {
         // Voluntary departure (§5.2.2): a leaving directory transfers its
         // view and directory-index to a content peer it manages. The
         // paper's headline churn never exercises this (peers always fail);
@@ -706,5 +702,143 @@ impl Node for FlowerPeer {
                 snapshot: Some(snapshot),
             },
         );
+    }
+}
+
+impl FlowerPeer {
+    /// Serve a local API call (the networked node's control surface).
+    pub(crate) fn on_api(&mut self, ctx: &mut Fx<Self>, token: u64, call: ApiCall) {
+        match call {
+            ApiCall::Ping => {
+                let role = match self.role {
+                    Role::Client => RoleKind::Client,
+                    Role::Content => RoleKind::Content,
+                    Role::Directory(_) => RoleKind::Directory,
+                };
+                ctx.respond(
+                    token,
+                    ApiResp::Pong {
+                        node: self.me,
+                        role,
+                        website: self.pcx.website,
+                        locality: self.locality,
+                        store_len: self.store.len() as u64,
+                        view_len: self.gossip.view().len() as u64,
+                    },
+                );
+            }
+            ApiCall::FindDirectory => {
+                let dir = self.self_dir_info().or(self.dir_info);
+                ctx.respond(token, ApiResp::Directory { dir });
+            }
+            ApiCall::Put { object } => {
+                let evicted = self.store.insert_with_eviction(object);
+                let now_ms = ctx.now().as_millis();
+                let me = self.me;
+                if let Role::Directory(d) = &mut self.role {
+                    d.index.record_objects(me, [object], now_ms);
+                    if !evicted.is_empty() {
+                        d.index.retract_objects(me, evicted.iter().copied());
+                    }
+                    self.store.take_push_delta();
+                } else if let Some(di) = self.dir_info {
+                    // Advertise immediately (no push-threshold batching):
+                    // a `put` object must be findable right away.
+                    if !evicted.is_empty() {
+                        ctx.send(di.holder.node, FlowerMsg::Retract { objects: evicted });
+                    }
+                    let seq = self.alloc_seq();
+                    let objects = self.store.take_push_delta();
+                    ctx.send(
+                        di.holder.node,
+                        FlowerMsg::Push {
+                            seq,
+                            objects,
+                            full: false,
+                        },
+                    );
+                }
+                ctx.respond(token, ApiResp::PutOk { object });
+            }
+            ApiCall::Get { object } => {
+                if self.store.contains(object) {
+                    self.store.touch(object);
+                    ctx.respond(
+                        token,
+                        ApiResp::Got {
+                            object,
+                            provider: ProviderKind::Local,
+                            elapsed_ms: 0,
+                        },
+                    );
+                    return;
+                }
+                if self.pending.is_some() {
+                    // One query in flight per peer; the client retries.
+                    ctx.respond(token, ApiResp::Busy);
+                    return;
+                }
+                let qid = self.alloc_qid();
+                ctx.trace(tags::QUERY_ISSUED, || {
+                    vec![
+                        ("qid", qid.raw().into()),
+                        ("ws", self.pcx.website.0.into()),
+                        ("object", object.as_u64().into()),
+                    ]
+                });
+                self.pending = Some(PendingQuery {
+                    qid,
+                    object: Some(object),
+                    issued_at: ctx.now(),
+                    via: ResolvedVia::LocalView,
+                    dht_hops: 0,
+                    phase: QueryPhase::Resolving,
+                    route_attempts: 0,
+                    fetch_attempts: 0,
+                    excluded: vec![self.me],
+                    asked_dir: false,
+                    fetch_sent_at: ctx.now(),
+                    last_bootstrap: None,
+                    api_token: Some(token),
+                });
+                match &self.role {
+                    Role::Client => self.route_pending_over_dring(ctx),
+                    Role::Content => self.resolve_as_content(ctx),
+                    Role::Directory(_) => self.resolve_as_directory_self(ctx),
+                }
+            }
+        }
+    }
+}
+
+impl Machine for FlowerPeer {
+    type Msg = FlowerMsg;
+    type Timer = FlowerTimer;
+    type Report = FlowerReport;
+    type Api = ApiCall;
+    type ApiResp = ApiResp;
+
+    fn handle(&mut self, env: Env<'_>, input: Input<Self>) -> Vec<Output<Self>> {
+        let mut ctx = Fx::new(env);
+        match input {
+            Input::Start => self.on_start(&mut ctx),
+            Input::Deliver { from, msg } => self.on_message(&mut ctx, from, msg),
+            Input::Timer(t) => self.on_timer(&mut ctx, t),
+            Input::Api { token, call } => self.on_api(&mut ctx, token, call),
+            Input::Leave => self.on_leave(&mut ctx),
+        }
+        ctx.into_outputs()
+    }
+
+    fn msg_class(msg: &FlowerMsg) -> &'static str {
+        msg.class()
+    }
+
+    fn timer_class(timer: &FlowerTimer) -> &'static str {
+        timer.class()
+    }
+
+    fn msg_wire_bytes(msg: &FlowerMsg) -> usize {
+        msg.wire_bytes()
     }
 }

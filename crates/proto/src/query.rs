@@ -10,11 +10,13 @@
 use cdn_metrics::{Provider, QueryRecord, ResolvedVia};
 use chord::ChordId;
 use rand::Rng;
-use simnet::{Ctx, LocalityId, NodeId};
+use simnet::{LocalityId, NodeId};
 use workload::{sample_exp, ObjectId, WebsiteId};
 
+use crate::api::{ApiResp, ProviderKind as ApiProvider};
 use crate::dirinfo::DirInfo;
 use crate::dring::DirPosition;
+use crate::io::Fx;
 use crate::msg::{FlowerMsg, FlowerTimer, RoutePayload, Summary};
 use crate::peer::{FlowerPeer, FlowerReport, PendingQuery, ProtocolEvent, QueryPhase, Role};
 use crate::qid::QueryId;
@@ -26,7 +28,7 @@ impl FlowerPeer {
     // ==================================================================
 
     /// Periodic query issuance (active peers).
-    pub(crate) fn on_query_timer(&mut self, ctx: &mut Ctx<Self>) {
+    pub(crate) fn on_query_timer(&mut self, ctx: &mut Fx<Self>) {
         // Schedule the next query regardless (Poisson stream, mean 6 min).
         let gap = sample_exp(ctx.rng, self.pcx.params.query_period_ms as f64).ceil() as u64;
         ctx.set_timer(gap.max(1_000), FlowerTimer::Query);
@@ -63,6 +65,7 @@ impl FlowerPeer {
             asked_dir: false,
             fetch_sent_at: ctx.now(),
             last_bootstrap: None,
+            api_token: None,
         });
         match &self.role {
             Role::Client => self.route_pending_over_dring(ctx),
@@ -72,7 +75,7 @@ impl FlowerPeer {
     }
 
     /// Non-active peers join their petal without a query (§6.1).
-    pub(crate) fn start_petal_join(&mut self, ctx: &mut Ctx<Self>) {
+    pub(crate) fn start_petal_join(&mut self, ctx: &mut Fx<Self>) {
         if self.pending.is_some() {
             return;
         }
@@ -90,12 +93,13 @@ impl FlowerPeer {
             asked_dir: false,
             fetch_sent_at: ctx.now(),
             last_bootstrap: None,
+            api_token: None,
         });
         self.route_pending_over_dring(ctx);
     }
 
     /// Send the pending request to a bootstrap for D-ring routing.
-    pub(crate) fn route_pending_over_dring(&mut self, ctx: &mut Ctx<Self>) {
+    pub(crate) fn route_pending_over_dring(&mut self, ctx: &mut Fx<Self>) {
         let Some(p) = &mut self.pending else {
             return;
         };
@@ -134,7 +138,7 @@ impl FlowerPeer {
     }
 
     /// Content-peer resolution: gossip summaries first, then the directory.
-    fn resolve_as_content(&mut self, ctx: &mut Ctx<Self>) {
+    pub(crate) fn resolve_as_content(&mut self, ctx: &mut Fx<Self>) {
         if self.try_fetch_from_view(ctx) {
             return;
         }
@@ -143,7 +147,7 @@ impl FlowerPeer {
 
     /// Find a petal contact whose content summary claims the object and
     /// fetch from it. Returns false if no candidate remains.
-    pub(crate) fn try_fetch_from_view(&mut self, ctx: &mut Ctx<Self>) -> bool {
+    pub(crate) fn try_fetch_from_view(&mut self, ctx: &mut Fx<Self>) -> bool {
         let Some(p) = &mut self.pending else {
             return false;
         };
@@ -183,7 +187,7 @@ impl FlowerPeer {
 
     /// Ask our directory instance; if we have none (or it is being
     /// replaced), go to the origin.
-    pub(crate) fn ask_directory_or_fallback(&mut self, ctx: &mut Ctx<Self>) {
+    pub(crate) fn ask_directory_or_fallback(&mut self, ctx: &mut Fx<Self>) {
         let Some(p) = &mut self.pending else {
             return;
         };
@@ -224,7 +228,7 @@ impl FlowerPeer {
 
     /// Model the origin-server round trip (the origin is a latency, not a
     /// peer — it always has the content).
-    pub(crate) fn start_origin_fetch(&mut self, ctx: &mut Ctx<Self>, via: ResolvedVia) {
+    pub(crate) fn start_origin_fetch(&mut self, ctx: &mut Fx<Self>, via: ResolvedVia) {
         let Some(p) = &mut self.pending else {
             return;
         };
@@ -249,7 +253,7 @@ impl FlowerPeer {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_redirect(
         &mut self,
-        ctx: &mut Ctx<Self>,
+        ctx: &mut Fx<Self>,
         qid: QueryId,
         object: Option<ObjectId>,
         provider: Option<NodeId>,
@@ -308,7 +312,7 @@ impl FlowerPeer {
     /// timers (§3.1, §5.1).
     pub(crate) fn become_content_peer(
         &mut self,
-        ctx: &mut Ctx<Self>,
+        ctx: &mut Fx<Self>,
         petal_view: &[(NodeId, Summary)],
     ) {
         self.role = Role::Content;
@@ -327,7 +331,7 @@ impl FlowerPeer {
     }
 
     /// The bootstrap could not route our request.
-    pub(crate) fn on_route_failed(&mut self, ctx: &mut Ctx<Self>, req_qid: QueryId) {
+    pub(crate) fn on_route_failed(&mut self, ctx: &mut Fx<Self>, req_qid: QueryId) {
         let Some(p) = &mut self.pending else {
             return;
         };
@@ -356,7 +360,7 @@ impl FlowerPeer {
     }
 
     /// No Redirect arrived in time (bootstrap or directory unresponsive).
-    pub(crate) fn on_route_deadline(&mut self, ctx: &mut Ctx<Self>, qid: QueryId) {
+    pub(crate) fn on_route_deadline(&mut self, ctx: &mut Fx<Self>, qid: QueryId) {
         let Some(p) = &mut self.pending else {
             return;
         };
@@ -385,7 +389,7 @@ impl FlowerPeer {
     /// Provider delivered the object.
     pub(crate) fn on_fetch_ok(
         &mut self,
-        ctx: &mut Ctx<Self>,
+        ctx: &mut Fx<Self>,
         from: NodeId,
         qid: QueryId,
         object: ObjectId,
@@ -409,7 +413,7 @@ impl FlowerPeer {
     /// Provider refused (summary false positive / stale index) or timed out.
     pub(crate) fn on_fetch_failed(
         &mut self,
-        ctx: &mut Ctx<Self>,
+        ctx: &mut Fx<Self>,
         qid: QueryId,
         provider: NodeId,
         timed_out: bool,
@@ -459,7 +463,7 @@ impl FlowerPeer {
         self.ask_directory_or_fallback(ctx);
     }
 
-    pub(crate) fn on_fetch_deadline(&mut self, ctx: &mut Ctx<Self>, qid: QueryId, attempt: u32) {
+    pub(crate) fn on_fetch_deadline(&mut self, ctx: &mut Fx<Self>, qid: QueryId, attempt: u32) {
         let Some(p) = &self.pending else {
             return;
         };
@@ -474,7 +478,7 @@ impl FlowerPeer {
 
     /// Origin round trip finished: a P2P miss, but the client now holds the
     /// object and becomes a provider for the petal.
-    pub(crate) fn on_origin_done(&mut self, ctx: &mut Ctx<Self>, qid: QueryId) {
+    pub(crate) fn on_origin_done(&mut self, ctx: &mut Fx<Self>, qid: QueryId) {
         let Some(p) = &self.pending else {
             return;
         };
@@ -493,7 +497,7 @@ impl FlowerPeer {
     /// to the directory if the threshold is crossed.
     fn complete_query(
         &mut self,
-        ctx: &mut Ctx<Self>,
+        ctx: &mut Fx<Self>,
         object: ObjectId,
         provider: Provider,
         one_way_ms: u64,
@@ -532,6 +536,21 @@ impl FlowerPeer {
             vec![("qid", p.qid.raw().into()), ("provider", kind.into())]
         });
         ctx.report(FlowerReport::Query(record));
+        if let Some(token) = p.api_token {
+            let kind = match provider {
+                Provider::ContentPeer => ApiProvider::ContentPeer,
+                Provider::DirectoryPeer => ApiProvider::DirectoryPeer,
+                Provider::OriginServer => ApiProvider::Origin,
+            };
+            ctx.respond(
+                token,
+                ApiResp::Got {
+                    object,
+                    provider: kind,
+                    elapsed_ms: ctx.now() - p.issued_at,
+                },
+            );
+        }
         self.maybe_push(ctx);
     }
 
@@ -541,7 +560,7 @@ impl FlowerPeer {
 
     /// A directory resolves its *own* query from its index or legacy
     /// summaries, else the origin.
-    fn resolve_as_directory_self(&mut self, ctx: &mut Ctx<Self>) {
+    pub(crate) fn resolve_as_directory_self(&mut self, ctx: &mut Fx<Self>) {
         let Some(p) = &mut self.pending else {
             return;
         };
@@ -581,7 +600,7 @@ impl FlowerPeer {
     /// A content peer of our partition asks us to resolve a query (§5.1).
     pub(crate) fn on_dir_query(
         &mut self,
-        ctx: &mut Ctx<Self>,
+        ctx: &mut Fx<Self>,
         from: NodeId,
         qid: QueryId,
         object: ObjectId,
@@ -645,7 +664,7 @@ impl FlowerPeer {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn forward_to_sibling_or_refuse(
         &mut self,
-        ctx: &mut Ctx<Self>,
+        ctx: &mut Fx<Self>,
         client: NodeId,
         qid: QueryId,
         object: ObjectId,
@@ -696,7 +715,7 @@ impl FlowerPeer {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_sibling_query(
         &mut self,
-        ctx: &mut Ctx<Self>,
+        ctx: &mut Fx<Self>,
         client: NodeId,
         qid: QueryId,
         object: ObjectId,
@@ -778,7 +797,7 @@ impl FlowerPeer {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_routed_client_request(
         &mut self,
-        ctx: &mut Ctx<Self>,
+        ctx: &mut Fx<Self>,
         key: ChordId,
         client: NodeId,
         website: WebsiteId,

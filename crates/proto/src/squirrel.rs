@@ -1,0 +1,794 @@
+//! The **Squirrel** baseline (Iyer, Rowstron, Druschel — PODC 2002): a
+//! decentralized P2P web cache in which *every* peer sits on one DHT and
+//! the *home node* `hash(url)` coordinates each object.
+//!
+//! The paper compares Flower-CDN against Squirrel's **directory** scheme
+//! ("Squirrel … shares some similarities with Flower-CDN wrt the directory
+//! structure", §6.1): the home node keeps a small directory of recent
+//! downloaders and redirects queries to one of them. Its weakness under
+//! churn is exactly what Fig. 3 shows: "the information about previous
+//! downloaders … is abruptly lost with the failure of the directory peer
+//! in charge of it" (§6.2.1). The **home-store** scheme (home node caches
+//! the object itself) is also implemented as an ablation.
+//!
+//! Both schemes route every query across the whole overlay with no
+//! locality awareness — the paper's two criticisms of DHT-based P2P
+//! caching (§2).
+//!
+//! This module is the *protocol* half only: [`SquirrelPeer`] is a pure
+//! [`Machine`]; the simulation engine that drives it lives in the
+//! `flower-cdn` crate.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use bloom::hash::hash_u64;
+use cdn_metrics::{Provider, QueryRecord, ResolvedVia};
+use chord::{Chord, ChordAction, ChordId, ChordMsg, ChordTimer, NodeRef};
+use rand::Rng;
+use simnet::{NodeId, Time};
+use workload::{sample_exp, Catalog, ObjectId, WebsiteId};
+
+use crate::bootstrap::SharedBootstrap;
+use crate::config::SimParams;
+use crate::io::{Env, Fx, Input, Machine, Output};
+use crate::origin::OriginDial;
+use crate::qid::QueryId;
+use crate::tags;
+
+/// Which Squirrel scheme to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SquirrelMode {
+    /// Home node keeps pointers to recent downloaders (the paper's
+    /// comparison target).
+    Directory,
+    /// Home node caches the object itself.
+    HomeStore,
+}
+
+/// Recent-downloader directory capacity at a home node (the original
+/// Squirrel keeps "a small directory" — 4 is its published default).
+const HOME_DIR_CAPACITY: usize = 4;
+
+/// Squirrel wire messages.
+#[derive(Debug, Clone)]
+pub enum SqMsg {
+    Chord(ChordMsg),
+    /// Query forwarded to the object's home node. `exclude` lists
+    /// downloaders the requester already found dead (the home prunes them).
+    Query {
+        qid: QueryId,
+        object: ObjectId,
+        exclude: Vec<NodeId>,
+    },
+    /// Home node's verdict: fetch from `provider`, or from the origin.
+    Answer {
+        qid: QueryId,
+        object: ObjectId,
+        provider: Option<NodeId>,
+    },
+    Fetch {
+        qid: QueryId,
+        object: ObjectId,
+    },
+    FetchOk {
+        qid: QueryId,
+        object: ObjectId,
+    },
+    FetchMiss {
+        qid: QueryId,
+        object: ObjectId,
+    },
+    /// Home-store mode: the requester hands the home node a copy after a
+    /// miss, so the home can serve the next query itself.
+    StoreCopy {
+        object: ObjectId,
+    },
+}
+
+impl SqMsg {
+    /// Estimated serialized size on the wire, mirroring
+    /// [`crate::msg::FlowerMsg::wire_bytes`]'s conventions (16-byte header
+    /// floor, object bodies modelled as ~4 KiB) so the two systems'
+    /// per-class byte accounting is directly comparable.
+    pub fn wire_bytes(&self) -> usize {
+        const HDR: usize = 16;
+        HDR + match self {
+            SqMsg::Chord(_) => 32,
+            SqMsg::Query { exclude, .. } => 16 + 8 * exclude.len(),
+            SqMsg::Answer { .. } => 24,
+            SqMsg::Fetch { .. } => 16,
+            SqMsg::FetchOk { .. } => 16 + 4096,
+            SqMsg::FetchMiss { .. } => 16,
+            SqMsg::StoreCopy { .. } => 8 + 4096,
+        }
+    }
+
+    pub fn class(&self) -> &'static str {
+        match self {
+            SqMsg::Chord(m) => m.class(),
+            SqMsg::Query { .. } => "sq_query",
+            SqMsg::Answer { .. } => "sq_answer",
+            SqMsg::Fetch { .. } => "fetch",
+            SqMsg::FetchOk { .. } => "fetch_ok",
+            SqMsg::FetchMiss { .. } => "fetch_miss",
+            SqMsg::StoreCopy { .. } => "sq_store_copy",
+        }
+    }
+}
+
+/// Squirrel timers.
+#[derive(Debug, Clone)]
+pub enum SqTimer {
+    Chord(ChordTimer),
+    Query,
+    AnswerDeadline { qid: QueryId },
+    FetchDeadline { qid: QueryId, attempt: u32 },
+    OriginDone { qid: QueryId },
+}
+
+impl SqTimer {
+    pub fn class(&self) -> &'static str {
+        match self {
+            SqTimer::Chord(t) => t.class(),
+            SqTimer::Query => "query",
+            SqTimer::AnswerDeadline { .. } => "sq_answer_deadline",
+            SqTimer::FetchDeadline { .. } => "fetch_deadline",
+            SqTimer::OriginDone { .. } => "origin_done",
+        }
+    }
+}
+
+/// Per-peer immutable context.
+#[derive(Clone)]
+pub struct SqCtx {
+    pub catalog: Rc<Catalog>,
+    pub params: Rc<SimParams>,
+    pub bootstrap: SharedBootstrap,
+    pub website: WebsiteId,
+    pub origin_latency_ms: u64,
+    /// Shared origin health state: chaos brownouts add latency here.
+    pub origin_dial: Rc<OriginDial>,
+    pub mode: SquirrelMode,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SqPhase {
+    Routing,
+    AwaitAnswer { home: NodeId },
+    Fetching { provider: NodeId, home: NodeId },
+    Origin { home: Option<NodeId> },
+}
+
+struct SqPending {
+    qid: QueryId,
+    object: ObjectId,
+    issued_at: Time,
+    phase: SqPhase,
+    dht_hops: u32,
+    lookup_attempts: u32,
+    fetch_attempts: u32,
+    excluded: Vec<NodeId>,
+    fetch_sent_at: Time,
+}
+
+/// The object's DHT key: hash of its identifier (the "URL").
+pub fn object_key(o: ObjectId) -> ChordId {
+    ChordId(hash_u64(o.as_u64(), 0x5041_5154))
+}
+
+/// A Squirrel peer's ring position: hash of its address.
+pub fn peer_ring_id(me: NodeId) -> ChordId {
+    ChordId(hash_u64(me.raw(), 0x5153_4952))
+}
+
+/// Report stream of a Squirrel peer.
+#[derive(Debug, Clone)]
+pub enum SqReport {
+    Query(QueryRecord),
+    Event(SqEvent),
+}
+
+/// Diagnostics for where Squirrel queries are lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SqEvent {
+    /// DHT lookup for the home node failed outright.
+    LookupFailed,
+    /// The home node did not answer in time (died after the lookup).
+    AnswerTimeout,
+    /// The home had no live downloader listed.
+    HomeEmpty,
+    /// A listed downloader answered FetchMiss.
+    FetchMiss,
+    /// A listed downloader timed out.
+    FetchTimeout,
+    /// A query was answered by a node that does not (strictly) own the
+    /// object's key — routing inconsistency diagnostic.
+    AnsweredByNonOwner,
+}
+
+/// A Squirrel peer.
+pub struct SquirrelPeer {
+    pcx: SqCtx,
+    me: NodeId,
+    active: bool,
+    store: crate::store::ContentStore,
+    chord: Chord,
+    /// Directory mode: recent downloaders of objects homed at me.
+    home_dir: BTreeMap<ObjectId, Vec<NodeId>>,
+    pending: Option<SqPending>,
+    /// chord lookup token → qid.
+    lookup_jobs: BTreeMap<u64, QueryId>,
+    next_qid: u32,
+    /// Actions from the Chord constructor, applied at `on_start`.
+    startup_chord_actions: Vec<ChordAction>,
+}
+
+impl SquirrelPeer {
+    /// A peer arriving through churn; joins the overlay through a
+    /// bootstrap contact.
+    pub fn arriving(pcx: SqCtx, me: NodeId, seed: NodeRef) -> SquirrelPeer {
+        let me_ref = NodeRef::new(me, peer_ring_id(me));
+        let (chord, actions) = Chord::join(me_ref, seed, pcx.params.chord.clone());
+        SquirrelPeer::with_chord(pcx, me, chord, actions)
+    }
+
+    /// An initial member with a pre-converged Chord (t=0 population).
+    pub fn initial(
+        pcx: SqCtx,
+        me: NodeId,
+        chord: Chord,
+        actions: Vec<ChordAction>,
+    ) -> SquirrelPeer {
+        SquirrelPeer::with_chord(pcx, me, chord, actions)
+    }
+
+    fn with_chord(
+        pcx: SqCtx,
+        me: NodeId,
+        chord: Chord,
+        startup_chord_actions: Vec<ChordAction>,
+    ) -> SquirrelPeer {
+        let active = pcx.catalog.is_active(pcx.website);
+        let store = crate::store::ContentStore::with_policy(pcx.params.store_policy);
+        SquirrelPeer {
+            pcx,
+            me,
+            active,
+            store,
+            chord,
+            home_dir: BTreeMap::new(),
+            pending: None,
+            lookup_jobs: BTreeMap::new(),
+            next_qid: 0,
+            startup_chord_actions,
+        }
+    }
+
+    pub fn is_joined(&self) -> bool {
+        self.chord.is_joined()
+    }
+
+    pub fn store_len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Objects currently homed at this peer (directory mode).
+    pub fn homed_objects(&self) -> usize {
+        self.home_dir.len()
+    }
+
+    /// The peer's Chord state (read-only; ring diagnostics).
+    pub fn chord(&self) -> &Chord {
+        &self.chord
+    }
+
+    fn apply_chord_actions(&mut self, ctx: &mut Fx<Self>, actions: Vec<ChordAction>) {
+        for a in actions {
+            match a {
+                ChordAction::Send { to, msg } => ctx.send(to.node, SqMsg::Chord(msg)),
+                ChordAction::SetTimer { delay_ms, timer } => {
+                    ctx.set_timer(delay_ms, SqTimer::Chord(timer))
+                }
+                ChordAction::LookupDone {
+                    token, owner, hops, ..
+                } => self.on_lookup_done(ctx, token, owner, hops),
+                ChordAction::LookupFailed { token, .. } => self.on_lookup_failed(ctx, token),
+                ChordAction::JoinComplete { .. } => {
+                    self.pcx.bootstrap.borrow_mut().add(self.chord.me());
+                    if self.active {
+                        let delay = ctx.rng.gen_range(500..5_000);
+                        ctx.set_timer(delay, SqTimer::Query);
+                    }
+                }
+                ChordAction::JoinFailed | ChordAction::Isolated => {
+                    // Join failed or we lost every successor: re-bootstrap
+                    // through a fresh seed. Deregister first so nobody
+                    // bootstraps through us while we are cut off.
+                    self.pcx.bootstrap.borrow_mut().remove(self.me);
+                    let exclude = [self.me];
+                    let seed = self.pcx.bootstrap.borrow().pick(ctx.rng, &exclude);
+                    if let Some(seed) = seed {
+                        let me_ref = NodeRef::new(self.me, peer_ring_id(self.me));
+                        let (chord, actions) =
+                            Chord::join(me_ref, seed, self.pcx.params.chord.clone());
+                        self.chord = chord;
+                        self.apply_chord_actions(ctx, actions);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Client side
+    // ------------------------------------------------------------------
+
+    fn on_query_timer(&mut self, ctx: &mut Fx<Self>) {
+        let gap = sample_exp(ctx.rng, self.pcx.params.query_period_ms as f64).ceil() as u64;
+        ctx.set_timer(gap.max(1_000), SqTimer::Query);
+        if self.pending.is_some() || !self.chord.is_joined() {
+            return;
+        }
+        let website = self.pcx.website;
+        let store = &self.store;
+        let Some(object) = self
+            .pcx
+            .catalog
+            .sample_new_object(website, ctx.rng, |o| store.contains(o))
+        else {
+            return;
+        };
+        self.next_qid += 1;
+        let qid = QueryId::new(self.me, self.next_qid);
+        ctx.trace(tags::QUERY_ISSUED, || {
+            vec![
+                ("qid", qid.raw().into()),
+                ("ws", website.0.into()),
+                ("object", object.as_u64().into()),
+            ]
+        });
+        self.pending = Some(SqPending {
+            qid,
+            object,
+            issued_at: ctx.now(),
+            phase: SqPhase::Routing,
+            dht_hops: 0,
+            lookup_attempts: 1,
+            fetch_attempts: 0,
+            excluded: vec![self.me],
+            fetch_sent_at: ctx.now(),
+        });
+        self.start_home_lookup(ctx, qid, object);
+    }
+
+    fn start_home_lookup(&mut self, ctx: &mut Fx<Self>, qid: QueryId, object: ObjectId) {
+        ctx.trace(tags::ROUTE_REQUEST, || {
+            vec![
+                ("qid", qid.raw().into()),
+                ("key", object_key(object).0.into()),
+            ]
+        });
+        let (token, actions) = self.chord.lookup_recursive(object_key(object));
+        self.lookup_jobs.insert(token, qid);
+        self.apply_chord_actions(ctx, actions);
+    }
+
+    fn on_lookup_done(&mut self, ctx: &mut Fx<Self>, token: u64, owner: NodeRef, hops: u32) {
+        let Some(qid) = self.lookup_jobs.remove(&token) else {
+            return;
+        };
+        let Some(p) = &mut self.pending else {
+            return;
+        };
+        if p.qid != qid || p.phase != SqPhase::Routing {
+            return;
+        }
+        p.dht_hops = hops;
+        let object = p.object;
+        let exclude = p.excluded.clone();
+        if owner.node == self.me {
+            // We are the home node ourselves: consult our own directory.
+            p.phase = SqPhase::AwaitAnswer { home: self.me };
+            let provider = self.home_answer(ctx, self.me, object, &exclude);
+            self.on_answer(ctx, qid, object, provider);
+            return;
+        }
+        p.phase = SqPhase::AwaitAnswer { home: owner.node };
+        ctx.send(
+            owner.node,
+            SqMsg::Query {
+                qid,
+                object,
+                exclude,
+            },
+        );
+        ctx.set_timer(
+            self.pcx.params.rpc_timeout_ms * 2,
+            SqTimer::AnswerDeadline { qid },
+        );
+    }
+
+    fn on_lookup_failed(&mut self, ctx: &mut Fx<Self>, token: u64) {
+        let Some(qid) = self.lookup_jobs.remove(&token) else {
+            return;
+        };
+        ctx.report(SqReport::Event(SqEvent::LookupFailed));
+        self.retry_or_origin(ctx, qid);
+    }
+
+    fn retry_or_origin(&mut self, ctx: &mut Fx<Self>, qid: QueryId) {
+        let Some(p) = &mut self.pending else {
+            return;
+        };
+        if p.qid != qid {
+            return;
+        }
+        if p.lookup_attempts < 2 {
+            p.lookup_attempts += 1;
+            p.phase = SqPhase::Routing;
+            let object = p.object;
+            self.start_home_lookup(ctx, qid, object);
+        } else {
+            self.start_origin_fetch(ctx, qid, None);
+        }
+    }
+
+    fn on_answer(
+        &mut self,
+        ctx: &mut Fx<Self>,
+        qid: QueryId,
+        object: ObjectId,
+        provider: Option<NodeId>,
+    ) {
+        let Some(p) = &mut self.pending else {
+            return;
+        };
+        if p.qid != qid || p.object != object {
+            return;
+        }
+        let SqPhase::AwaitAnswer { home } = p.phase else {
+            return;
+        };
+        match provider {
+            Some(target) if !p.excluded.contains(&target) => {
+                p.phase = SqPhase::Fetching {
+                    provider: target,
+                    home,
+                };
+                p.fetch_sent_at = ctx.now();
+                p.fetch_attempts += 1;
+                let attempt = p.fetch_attempts;
+                ctx.trace(tags::FETCH, || {
+                    vec![("qid", qid.raw().into()), ("provider", target.into())]
+                });
+                ctx.send(target, SqMsg::Fetch { qid, object });
+                ctx.set_timer(
+                    self.pcx.params.rpc_timeout_ms,
+                    SqTimer::FetchDeadline { qid, attempt },
+                );
+            }
+            _ => {
+                ctx.report(SqReport::Event(SqEvent::HomeEmpty));
+                self.start_origin_fetch(ctx, qid, Some(home))
+            }
+        }
+    }
+
+    fn start_origin_fetch(&mut self, ctx: &mut Fx<Self>, qid: QueryId, home: Option<NodeId>) {
+        let Some(p) = &mut self.pending else {
+            return;
+        };
+        if p.qid != qid {
+            return;
+        }
+        p.phase = SqPhase::Origin { home };
+        p.fetch_sent_at = ctx.now();
+        ctx.trace(tags::ORIGIN_FETCH, || vec![("qid", qid.raw().into())]);
+        // A chaos brownout adds one-way latency to the origin round trip.
+        let one_way = self.pcx.origin_latency_ms + self.pcx.origin_dial.extra_ms(self.pcx.website);
+        let rtt = 2 * one_way.max(1);
+        ctx.set_timer(rtt, SqTimer::OriginDone { qid });
+    }
+
+    fn on_fetch_ok(&mut self, ctx: &mut Fx<Self>, from: NodeId, qid: QueryId) {
+        let Some(p) = &self.pending else {
+            return;
+        };
+        if p.qid != qid {
+            return;
+        }
+        let SqPhase::Fetching { provider, home } = p.phase else {
+            return;
+        };
+        if provider != from {
+            return;
+        }
+        ctx.trace(tags::FETCH_OK, || vec![("qid", qid.raw().into())]);
+        let one_way = (ctx.now() - p.fetch_sent_at) / 2;
+        let kind = if from == home {
+            Provider::DirectoryPeer // home-store service
+        } else {
+            Provider::ContentPeer
+        };
+        self.complete(ctx, kind, one_way);
+    }
+
+    fn on_fetch_failed(&mut self, ctx: &mut Fx<Self>, qid: QueryId, provider: NodeId) {
+        let Some(p) = &mut self.pending else {
+            return;
+        };
+        if p.qid != qid {
+            return;
+        }
+        let SqPhase::Fetching {
+            provider: expected,
+            home,
+        } = p.phase
+        else {
+            return;
+        };
+        if provider != expected {
+            return;
+        }
+        p.excluded.push(provider);
+        if p.fetch_attempts >= 3 {
+            self.start_origin_fetch(ctx, qid, Some(home));
+            return;
+        }
+        // Ask the home again, reporting the dead downloader so it prunes.
+        let object = p.object;
+        let exclude = p.excluded.clone();
+        p.phase = SqPhase::AwaitAnswer { home };
+        if home == self.me {
+            let provider = self.home_answer(ctx, self.me, object, &exclude);
+            self.on_answer(ctx, qid, object, provider);
+            return;
+        }
+        ctx.send(
+            home,
+            SqMsg::Query {
+                qid,
+                object,
+                exclude,
+            },
+        );
+        ctx.set_timer(
+            self.pcx.params.rpc_timeout_ms * 2,
+            SqTimer::AnswerDeadline { qid },
+        );
+    }
+
+    fn on_answer_deadline(&mut self, ctx: &mut Fx<Self>, qid: QueryId) {
+        let Some(p) = &self.pending else {
+            return;
+        };
+        if p.qid != qid || !matches!(p.phase, SqPhase::AwaitAnswer { .. }) {
+            return;
+        }
+        // Home node died between lookup and query: re-route; the DHT will
+        // have promoted a successor (whose directory starts empty — the
+        // Squirrel weakness the paper highlights).
+        ctx.report(SqReport::Event(SqEvent::AnswerTimeout));
+        self.retry_or_origin(ctx, qid);
+    }
+
+    fn on_origin_done(&mut self, ctx: &mut Fx<Self>, qid: QueryId) {
+        let Some(p) = &self.pending else {
+            return;
+        };
+        if p.qid != qid {
+            return;
+        }
+        let SqPhase::Origin { home } = p.phase else {
+            return;
+        };
+        let lat = self.pcx.origin_latency_ms + self.pcx.origin_dial.extra_ms(self.pcx.website);
+        if self.pcx.mode == SquirrelMode::HomeStore {
+            if let Some(home) = home {
+                if home != self.me {
+                    let object = p.object;
+                    ctx.send(home, SqMsg::StoreCopy { object });
+                }
+            }
+        }
+        self.complete(ctx, Provider::OriginServer, lat);
+    }
+
+    fn complete(&mut self, ctx: &mut Fx<Self>, provider: Provider, one_way_ms: u64) {
+        let p = self.pending.take().expect("pending");
+        let _evicted = self.store.insert_with_eviction(p.object);
+        // (Squirrel has no retraction channel: stale home-directory
+        // pointers are pruned by the exclude-on-requery protocol.)
+        let record = QueryRecord {
+            issued_at_ms: p.issued_at.as_millis(),
+            lookup_ms: (p.fetch_sent_at - p.issued_at) + one_way_ms,
+            transfer_ms: one_way_ms,
+            dht_hops: p.dht_hops,
+            provider,
+            via: ResolvedVia::DhtRoute,
+        };
+        ctx.trace(tags::QUERY_COMPLETE, || {
+            let kind = match provider {
+                Provider::ContentPeer => "content_peer",
+                Provider::DirectoryPeer => "directory_peer",
+                Provider::OriginServer => "origin",
+            };
+            vec![("qid", p.qid.raw().into()), ("provider", kind.into())]
+        });
+        ctx.report(SqReport::Query(record));
+    }
+
+    // ------------------------------------------------------------------
+    // Home-node side
+    // ------------------------------------------------------------------
+
+    /// Answer a query for an object homed at me; prunes `exclude` from the
+    /// directory and registers the requester as a recent downloader.
+    fn home_answer(
+        &mut self,
+        ctx: &mut Fx<Self>,
+        requester: NodeId,
+        object: ObjectId,
+        exclude: &[NodeId],
+    ) -> Option<NodeId> {
+        match self.pcx.mode {
+            SquirrelMode::HomeStore => {
+                if self.store.contains(object) {
+                    Some(self.me)
+                } else {
+                    None
+                }
+            }
+            SquirrelMode::Directory => {
+                let dir = self.home_dir.entry(object).or_default();
+                dir.retain(|n| !exclude.contains(n));
+                let provider = if dir.is_empty() {
+                    None
+                } else {
+                    Some(dir[ctx.rng.gen_range(0..dir.len())])
+                };
+                // Record the requester (it is about to hold the object),
+                // most-recent last, bounded capacity.
+                dir.retain(|&n| n != requester);
+                dir.push(requester);
+                if dir.len() > HOME_DIR_CAPACITY {
+                    dir.remove(0);
+                }
+                provider
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Input dispatch
+    // ------------------------------------------------------------------
+
+    fn on_start(&mut self, ctx: &mut Fx<Self>) {
+        let startup = std::mem::take(&mut self.startup_chord_actions);
+        self.apply_chord_actions(ctx, startup);
+        if self.chord.is_joined() {
+            // Initial member: no JoinComplete will fire.
+            self.pcx.bootstrap.borrow_mut().add(self.chord.me());
+            if self.active {
+                let delay = ctx.rng.gen_range(1_000..30_000);
+                ctx.set_timer(delay, SqTimer::Query);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Fx<Self>, from: NodeId, msg: SqMsg) {
+        match msg {
+            SqMsg::Chord(m) => {
+                let actions = self.chord.handle_message(from, m);
+                self.apply_chord_actions(ctx, actions);
+            }
+            SqMsg::Query {
+                qid,
+                object,
+                exclude,
+            } => {
+                if !self.chord.owns_strict(object_key(object)) {
+                    ctx.report(SqReport::Event(SqEvent::AnsweredByNonOwner));
+                }
+                let provider = self.home_answer(ctx, from, object, &exclude);
+                ctx.trace(tags::SQ_HOME_ANSWER, || {
+                    vec![
+                        ("qid", qid.raw().into()),
+                        ("hit", provider.is_some().into()),
+                    ]
+                });
+                ctx.send(
+                    from,
+                    SqMsg::Answer {
+                        qid,
+                        object,
+                        provider,
+                    },
+                );
+            }
+            SqMsg::Answer {
+                qid,
+                object,
+                provider,
+            } => self.on_answer(ctx, qid, object, provider),
+            SqMsg::Fetch { qid, object } => {
+                let reply = if self.store.contains(object) {
+                    self.store.touch(object);
+                    SqMsg::FetchOk { qid, object }
+                } else {
+                    SqMsg::FetchMiss { qid, object }
+                };
+                ctx.send(from, reply);
+            }
+            SqMsg::FetchOk { qid, .. } => self.on_fetch_ok(ctx, from, qid),
+            SqMsg::FetchMiss { qid, .. } => {
+                ctx.report(SqReport::Event(SqEvent::FetchMiss));
+                self.on_fetch_failed(ctx, qid, from)
+            }
+            SqMsg::StoreCopy { object } => {
+                if self.pcx.mode == SquirrelMode::HomeStore {
+                    self.store.insert(object);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Fx<Self>, timer: SqTimer) {
+        match timer {
+            SqTimer::Chord(t) => {
+                let actions = self.chord.handle_timer(t);
+                self.apply_chord_actions(ctx, actions);
+            }
+            SqTimer::Query => self.on_query_timer(ctx),
+            SqTimer::AnswerDeadline { qid } => self.on_answer_deadline(ctx, qid),
+            SqTimer::FetchDeadline { qid, attempt } => {
+                let Some(p) = &self.pending else {
+                    return;
+                };
+                if p.qid != qid || p.fetch_attempts != attempt {
+                    return;
+                }
+                let SqPhase::Fetching { provider, .. } = p.phase else {
+                    return;
+                };
+                ctx.report(SqReport::Event(SqEvent::FetchTimeout));
+                self.on_fetch_failed(ctx, qid, provider);
+            }
+            SqTimer::OriginDone { qid } => self.on_origin_done(ctx, qid),
+        }
+    }
+}
+
+impl Machine for SquirrelPeer {
+    type Msg = SqMsg;
+    type Timer = SqTimer;
+    type Report = SqReport;
+    /// Squirrel has no local control surface.
+    type Api = ();
+    type ApiResp = ();
+
+    fn handle(&mut self, env: Env<'_>, input: Input<Self>) -> Vec<Output<Self>> {
+        let mut ctx = Fx::new(env);
+        match input {
+            Input::Start => self.on_start(&mut ctx),
+            Input::Deliver { from, msg } => self.on_message(&mut ctx, from, msg),
+            Input::Timer(t) => self.on_timer(&mut ctx, t),
+            Input::Api { .. } => {}
+            Input::Leave => {}
+        }
+        ctx.into_outputs()
+    }
+
+    fn msg_class(msg: &SqMsg) -> &'static str {
+        msg.class()
+    }
+
+    fn timer_class(timer: &SqTimer) -> &'static str {
+        timer.class()
+    }
+
+    fn msg_wire_bytes(msg: &SqMsg) -> usize {
+        msg.wire_bytes()
+    }
+}

@@ -3,7 +3,8 @@
 //! The repository must build and test offline (`vendor/README.md`), so the
 //! workspace pins `proptest` to this in-tree implementation. It covers the
 //! surface the test suite uses — the `proptest!` macro, `Strategy` with
-//! `prop_map`, range/tuple/`any`/`collection::vec` strategies, the
+//! `prop_map`, range/tuple/`any`/`collection::vec`/`option::of` strategies,
+//! `prop_oneof!` (unweighted), the
 //! `prop_assert*`/`prop_assume!` macros and `ProptestConfig::with_cases` —
 //! with honest random-case generation but **no shrinking**: a failing case
 //! reports its inputs via the panic message instead of minimizing them.
@@ -159,11 +160,51 @@ pub mod collection {
     }
 }
 
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy returned by [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    /// `proptest::option::of(inner)` — `None` a quarter of the time,
+    /// `Some` of the inner strategy otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.sample_value(rng))
+            }
+        }
+    }
+}
+
 pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// `prop_oneof![a, b, c]` — draw each case from one of the arms, chosen
+/// uniformly. Arms must agree on the value type; upstream's weighted
+/// `w => strategy` form is not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let arms: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = ::std::vec![$(::std::boxed::Box::new($arm)),+];
+        $crate::strategy::Union::new(arms)
+    }};
 }
 
 /// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", ..)` — fail the case

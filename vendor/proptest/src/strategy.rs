@@ -89,12 +89,43 @@ tuple_strategy! {
     (A | 0, B | 1, C | 2, D | 3);
     (A | 0, B | 1, C | 2, D | 3, E | 4);
     (A | 0, B | 1, C | 2, D | 3, E | 4, F | 5);
+    (A | 0, B | 1, C | 2, D | 3, E | 4, F | 5, G | 6);
+    (A | 0, B | 1, C | 2, D | 3, E | 4, F | 5, G | 6, H | 7);
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
     fn sample_value(&self, rng: &mut TestRng) -> S::Value {
         (**self).sample_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn sample_value(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample_value(rng)
+    }
+}
+
+/// Uniform choice among alternative strategies for one value type — the
+/// engine behind `prop_oneof!`. No per-arm weights (upstream's `w => s`
+/// form is not supported).
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].sample_value(rng)
     }
 }
 
@@ -113,6 +144,17 @@ mod tests {
             let s = (-3i64..3).sample_value(&mut rng);
             assert!((-3..3).contains(&s));
         }
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let mut rng = TestRng::deterministic("union");
+        let strat = crate::prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[strat.sample_value(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
     }
 
     #[test]
