@@ -32,11 +32,16 @@ for f in runs.csv summary.csv summary.json; do
         || { echo "sweep output $f depends on --jobs"; exit 1; }
 done
 
-echo "==> perf smoke (BENCH_ci.json vs committed BENCH_seed.json)"
+echo "==> perf smoke (BENCH_ci.json vs committed baselines)"
 cargo run --release -p flower-bench --bin perf -- --smoke --label ci --out results
 # Loose threshold: wall-clock numbers vary across machines, so the gate
 # only catches structural blowups (>2.5x slowdown), not noise.
 cargo run --release -p flower-bench --bin perf -- \
     --compare BENCH_seed.json results/BENCH_ci.json --threshold 1.5
+# The arena baseline also carries the P=10_000 rung, gating the scaled-up
+# hot path (timer wheel, SoA slab, pooled buffers), not just the small
+# paper-shaped cells.
+cargo run --release -p flower-bench --bin perf -- \
+    --compare BENCH_arena.json results/BENCH_ci.json --threshold 1.5
 
 echo "==> CI green"

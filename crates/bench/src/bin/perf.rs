@@ -33,10 +33,12 @@ use profile::{compare, BenchReport};
 use sweep::{run_grid, Cell, Grid, SweepOpts};
 
 const USAGE: &str = "\
-usage: perf [--smoke] [--label NAME] [--out DIR] [--seed N] [--jobs N]
+usage: perf [--smoke | --scale] [--label NAME] [--out DIR] [--seed N] [--jobs N]
        perf --compare OLD.json NEW.json [--threshold F]
 
-  --smoke          tiny ladder (P=150/300, 1 simulated hour) for CI
+  --smoke          small ladder (P=150/300/10k, 1 simulated hour) for CI
+  --scale          arena ladder (P=150/300/10k/50k/100k, 1 simulated hour);
+                   this is what BENCH_arena.json is generated from
   --label NAME     report label; the file is BENCH_<NAME>.json (default: perf)
   --out DIR        directory for the report file (default: .)
   --seed N         base seed for every cell (default: 47)
@@ -47,6 +49,7 @@ usage: perf [--smoke] [--label NAME] [--out DIR] [--seed N] [--jobs N]
 
 struct PerfOpts {
     smoke: bool,
+    scale: bool,
     label: String,
     out_dir: PathBuf,
     seed: u64,
@@ -58,6 +61,7 @@ struct PerfOpts {
 fn parse_opts() -> Result<PerfOpts, String> {
     let mut o = PerfOpts {
         smoke: false,
+        scale: false,
         label: "perf".to_string(),
         out_dir: PathBuf::from("."),
         seed: 47,
@@ -70,6 +74,7 @@ fn parse_opts() -> Result<PerfOpts, String> {
         let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
         match a.as_str() {
             "--smoke" => o.smoke = true,
+            "--scale" => o.scale = true,
             "--label" => o.label = value("--label")?,
             "--out" => o.out_dir = PathBuf::from(value("--out")?),
             "--seed" => {
@@ -104,22 +109,43 @@ fn parse_opts() -> Result<PerfOpts, String> {
 
 /// The measurement ladder: every (population, system) pair the report
 /// carries, in a fixed order so reports stay comparable.
-pub fn ladder(smoke: bool, seed: u64) -> Grid {
+///
+/// Three shapes share one cell vocabulary (same `(system, population,
+/// seed)` key measures the same workload everywhere, so any two reports
+/// compare on their common cells):
+///
+/// * `--smoke`: P = 150/300/10k, one simulated hour — the CI gate.
+/// * `--scale`: P = 150/300/10k/50k/100k — the "arena" ladder behind the
+///   committed `BENCH_arena.json`; the 150/300 rungs keep it comparable
+///   to `BENCH_seed.json`.
+/// * full (default): the paper-shaped P = 500/1500/3000 rungs plus the
+///   arena rungs.
+///
+/// Every rung at or above P = 10k (and every smoke/scale rung) runs one
+/// simulated hour; at or above P = 50k the query period is stretched so a
+/// cell stays minutes of wall clock — the point of those rungs is memory
+/// footprint and events/sec at scale, not query-count parity.
+pub fn ladder(smoke: bool, scale: bool, seed: u64) -> Grid {
     let mut grid = Grid::new(vec![seed]);
-    let populations: &[usize] = if smoke {
-        &[150, 300]
+    let populations: &[usize] = if scale {
+        &[150, 300, 10_000, 50_000, 100_000]
+    } else if smoke {
+        &[150, 300, 10_000]
     } else {
-        &[500, 1_500, 3_000]
+        &[500, 1_500, 3_000, 10_000, 50_000, 100_000]
     };
     for &pop in populations {
         let mut params = shape_params(pop, seed);
-        if smoke {
+        if smoke || scale || pop >= 10_000 {
             // One simulated hour keeps the CI step in seconds while
             // still exercising several gossip rounds and churn epochs.
             params.horizon_ms = 3_600_000;
             params.mean_uptime_ms = 20 * 60_000;
             params.query_period_ms = 2 * 60_000;
             params.gossip_period_ms = 20 * 60_000;
+        }
+        if pop >= 50_000 {
+            params.query_period_ms = 10 * 60_000;
         }
         for (tag, system) in [
             ("flower", System::FlowerCdn),
@@ -132,14 +158,20 @@ pub fn ladder(smoke: bool, seed: u64) -> Grid {
 }
 
 fn run_ladder(o: &PerfOpts) -> ExitCode {
-    let grid = ladder(o.smoke, o.seed);
+    let grid = ladder(o.smoke, o.scale, o.seed);
     let opts = SweepOpts {
         jobs: o.jobs,
         profile: true,
         progress: true,
         ..SweepOpts::default()
     };
-    let scale = if o.smoke { "smoke" } else { "full" };
+    let scale = if o.scale {
+        "scale"
+    } else if o.smoke {
+        "smoke"
+    } else {
+        "full"
+    };
     eprintln!(
         "perf {scale} ladder: {} cells, seed {}, --jobs {}…",
         grid.cells.len(),

@@ -502,6 +502,32 @@ impl Chord {
         }
     }
 
+    /// Whether `timer` would do anything if delivered right now.
+    ///
+    /// Deadline timers are armed per attempt/generation and superseded as
+    /// soon as the matching reply arrives, so under a healthy ring the vast
+    /// majority fire stale; hosts use this to skip the dispatch (and its
+    /// per-event accounting) entirely. The predicate must stay conservative:
+    /// it answers `true` for every timer whose handler could mutate state or
+    /// emit actions, mirroring the early-return guards in [`Self::handle_timer`].
+    pub fn timer_is_live(&self, timer: &ChordTimer) -> bool {
+        match *timer {
+            ChordTimer::Stabilize
+            | ChordTimer::StabilizeOnce
+            | ChordTimer::FixFingers
+            | ChordTimer::CheckPredecessor => true,
+            ChordTimer::LookupStep { token, attempt }
+            | ChordTimer::RouteDeadline { token, attempt } => self
+                .lookups
+                .get(&token)
+                .is_some_and(|lk| lk.attempt == attempt),
+            ChordTimer::StabilizeDeadline { gen } => gen == self.stabilize_gen,
+            ChordTimer::PingDeadline { nonce } => {
+                self.pending_ping.is_some_and(|(n, _)| n == nonce)
+            }
+        }
+    }
+
     /// Handle one of our timers firing.
     pub fn handle_timer(&mut self, timer: ChordTimer) -> Vec<ChordAction> {
         match timer {

@@ -54,6 +54,11 @@ pub(crate) struct GaugeState {
     class_counts: ClassCountSink,
     last_counts: std::collections::BTreeMap<&'static str, u64>,
     last_events: u64,
+    /// `rate/<class>` series names, formatted once per class and interned;
+    /// steady-state sampling resolves a 4-byte symbol instead of
+    /// re-running `format!` for every class on every tick.
+    rate_names: intern::Interner,
+    rate_syms: std::collections::BTreeMap<&'static str, intern::Symbol>,
 }
 
 /// The next exact multiple of `period_ms` strictly after `now`. Gauge
@@ -73,6 +78,8 @@ impl GaugeState {
             class_counts,
             last_counts: std::collections::BTreeMap::new(),
             last_events: 0,
+            rate_names: intern::Interner::new(),
+            rate_syms: std::collections::BTreeMap::new(),
         }
     }
 
@@ -88,9 +95,17 @@ impl GaugeState {
         {
             let mut reg = self.registry.borrow_mut();
             for (class, &total) in &counts {
+                let sym = match self.rate_syms.get(class) {
+                    Some(&sym) => sym,
+                    None => {
+                        let sym = self.rate_names.intern(&format!("rate/{class}"));
+                        self.rate_syms.insert(class, sym);
+                        sym
+                    }
+                };
                 let prev = self.last_counts.get(class).copied().unwrap_or(0);
                 reg.record(
-                    &format!("rate/{class}"),
+                    self.rate_names.resolve(sym),
                     at_ms,
                     (total - prev) as f64 / secs,
                 );

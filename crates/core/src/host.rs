@@ -35,6 +35,10 @@ pub struct SimHost<M: Machine> {
     machine: M,
     rng: StdRng,
     tap: Option<TapLog<M>>,
+    /// Recycled output buffer: drained after every `handle_with` call and
+    /// handed back for the next one, so steady-state dispatch reuses one
+    /// allocation per node.
+    scratch: Vec<Output<M>>,
 }
 
 impl<M: Machine> SimHost<M> {
@@ -46,6 +50,7 @@ impl<M: Machine> SimHost<M> {
             machine,
             rng: machine_rng(run_seed, me),
             tap: None,
+            scratch: Vec::new(),
         }
     }
 
@@ -55,6 +60,7 @@ impl<M: Machine> SimHost<M> {
             machine,
             rng: machine_rng(run_seed, me),
             tap: Some(log),
+            scratch: Vec::new(),
         }
     }
 
@@ -72,7 +78,8 @@ impl<M: Machine> SimHost<M> {
             rng: &mut self.rng,
             tracing: ctx.tracing(),
         };
-        let outputs = self.machine.handle(env, input);
+        let buf = std::mem::take(&mut self.scratch);
+        let mut outputs = self.machine.handle_with(env, input, buf);
         if let (Some(tap), Some(input)) = (&self.tap, recorded) {
             tap.borrow_mut().push(TapEntry {
                 now: ctx.now(),
@@ -80,7 +87,7 @@ impl<M: Machine> SimHost<M> {
                 outputs: outputs.clone(),
             });
         }
-        for out in outputs {
+        for out in outputs.drain(..) {
             match out {
                 Output::Send { to, msg } => ctx.send(to, msg),
                 Output::SetTimer { delay_ms, timer } => ctx.set_timer(delay_ms, timer),
@@ -91,6 +98,7 @@ impl<M: Machine> SimHost<M> {
                 Output::Stop => ctx.stop(),
             }
         }
+        self.scratch = outputs;
     }
 }
 

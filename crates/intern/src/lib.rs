@@ -1,0 +1,116 @@
+//! String interning for hot paths.
+//!
+//! Long-running simulations repeatedly touch the same small set of names —
+//! gauge series (`rate/query`, `queue_depth`), profiler phases, protocol
+//! classes — and re-formatting or re-hashing those strings on every sample
+//! is pure waste at scale. An [`Interner`] assigns each distinct string a
+//! dense [`Symbol`] (a `u32` index) exactly once; after that, hot code
+//! passes the 4-byte symbol around and calls [`Interner::resolve`] only at
+//! the boundary that genuinely needs the text.
+//!
+//! Symbols are plain indices into the interner that minted them. Resolving
+//! a symbol against a *different* interner is a logic error; debug builds
+//! catch it whenever the symbol is out of range (release builds still
+//! panic via the bounds check rather than returning wrong data).
+
+use std::collections::HashMap;
+
+/// A dense handle to an interned string: 4 bytes, `Copy`, cheap to compare
+/// and hash. Only meaningful together with the [`Interner`] that minted it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw index. Exposed for dense side-tables (`Vec<T>` keyed by
+    /// symbol); do not fabricate symbols from arbitrary integers.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only string table. Interning the same string twice returns
+/// the same [`Symbol`]; symbols are handed out densely from zero, so they
+/// double as indices into per-symbol side tables.
+#[derive(Debug, Default)]
+pub struct Interner {
+    map: HashMap<String, Symbol>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Intern `s`, allocating only on first sight.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let idx = u32::try_from(self.strings.len()).expect("interner full: > u32::MAX strings");
+        let sym = Symbol(idx);
+        self.strings.push(s.to_owned());
+        self.map.insert(s.to_owned(), sym);
+        sym
+    }
+
+    /// Look up `s` without inserting.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// The text behind `sym`. Panics if `sym` did not come from this
+    /// interner (out-of-range index); debug builds name the mistake.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        debug_assert!(
+            (sym.0 as usize) < self.strings.len(),
+            "symbol {} resolved against the wrong interner (len {})",
+            sym.0,
+            self.strings.len()
+        );
+        &self.strings[sym.0 as usize]
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut it = Interner::new();
+        let a = it.intern("rate/query");
+        let b = it.intern("rate/gossip");
+        let a2 = it.intern("rate/query");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.resolve(a), "rate/query");
+        assert_eq!(it.resolve(b), "rate/gossip");
+        assert_eq!(it.get("rate/gossip"), Some(b));
+        assert_eq!(it.get("rate/none"), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn resolving_a_foreign_symbol_panics() {
+        let mut minted = Interner::new();
+        for i in 0..10 {
+            minted.intern(&format!("s{i}"));
+        }
+        let foreign = Symbol(9); // valid in `minted`...
+        let small = Interner::new(); // ...but not here
+        let _ = small.resolve(foreign);
+    }
+}

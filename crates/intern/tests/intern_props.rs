@@ -1,0 +1,72 @@
+//! Property tests for the interner: interning round-trips every string,
+//! duplicates collapse to one dense symbol, and resolving a symbol that
+//! was minted by a *different* (smaller) interner panics instead of
+//! silently returning the wrong name.
+
+use std::collections::BTreeSet;
+
+use intern::Interner;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn name() -> impl Strategy<Value = String> {
+    // Small alphabet on purpose: short vectors then collide often, which
+    // is exactly the duplicate-heavy shape gauge names have.
+    prop_oneof![
+        Just("rate/query".to_owned()),
+        Just("rate/gossip".to_owned()),
+        Just("queue_depth".to_owned()),
+        (0u32..50).prop_map(|i| format!("series/{i}")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn intern_resolve_round_trips(names in vec(name(), 0..40)) {
+        let mut it = Interner::new();
+        let syms: Vec<_> = names.iter().map(|n| it.intern(n)).collect();
+
+        // Every symbol resolves back to exactly the string that minted it.
+        for (n, s) in names.iter().zip(&syms) {
+            prop_assert_eq!(it.resolve(*s), n.as_str());
+        }
+        // Duplicates collapse: distinct symbols == distinct strings, and
+        // the handed-out indices are dense in 0..len.
+        let distinct: BTreeSet<_> = names.iter().collect();
+        prop_assert_eq!(it.len(), distinct.len());
+        for s in &syms {
+            prop_assert!(s.index() < it.len());
+            prop_assert_eq!(it.get(it.resolve(*s)), Some(*s));
+        }
+        // Re-interning is idempotent and allocates no new symbols.
+        let before = it.len();
+        for (n, s) in names.iter().zip(&syms) {
+            prop_assert_eq!(it.intern(n), *s);
+        }
+        prop_assert_eq!(it.len(), before);
+    }
+
+    #[test]
+    fn foreign_symbols_never_resolve_silently(
+        minted_names in vec(name(), 1..40),
+        kept in 0usize..10,
+    ) {
+        // Mint symbols in one interner, then consult a strictly smaller
+        // one: every out-of-range symbol must panic (debug_assert first,
+        // bounds check as backstop) — never return some other string.
+        let mut big = Interner::new();
+        let syms: Vec<_> = minted_names.iter().map(|n| big.intern(n)).collect();
+
+        let mut small = Interner::new();
+        for n in minted_names.iter().take(kept.min(minted_names.len())) {
+            small.intern(n);
+        }
+        for s in syms {
+            let in_range = s.index() < small.len();
+            let got = std::panic::catch_unwind(|| small.resolve(s).to_owned());
+            prop_assert_eq!(got.is_ok(), in_range);
+        }
+    }
+}

@@ -579,7 +579,13 @@ impl<'a> Dec<'a> {
     }
 
     fn node(&mut self) -> R<NodeId> {
-        Ok(NodeId::from_index(self.u64()? as usize))
+        // Wire ids are u64 for forward compatibility; live ids are dense
+        // u32 indices, so anything wider is garbage, not a node.
+        let raw = self.u64()?;
+        if raw >= u64::from(u32::MAX) {
+            return Err(WireError::Malformed("node id"));
+        }
+        Ok(NodeId::from_index(raw as usize))
     }
     fn website(&mut self) -> R<WebsiteId> {
         Ok(WebsiteId(self.u16()?))

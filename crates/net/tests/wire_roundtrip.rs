@@ -22,7 +22,8 @@ use workload::{ObjectId, WebsiteId};
 // ---------------------------------------------------------------------
 
 fn node() -> impl Strategy<Value = NodeId> {
-    (0u64..1 << 40).prop_map(|i| NodeId::from_index(i as usize))
+    // NodeId is a dense u32 index; cover the full representable range.
+    (0u64..u64::from(u32::MAX)).prop_map(|i| NodeId::from_index(i as usize))
 }
 
 fn website() -> impl Strategy<Value = WebsiteId> {

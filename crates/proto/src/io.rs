@@ -202,6 +202,21 @@ pub trait Machine: Sized {
     /// Consume one input, return every resulting command, in order.
     fn handle(&mut self, env: Env<'_>, input: Input<Self>) -> Vec<Output<Self>>;
 
+    /// As [`Machine::handle`], but building the output list inside `buf`
+    /// (an emptied buffer recycled by the host) so steady-state dispatch
+    /// reuses one allocation per node instead of growing a fresh `Vec`
+    /// every call. Hosts that pool buffers call this; the default ignores
+    /// `buf` and delegates, so existing machines stay correct unchanged.
+    fn handle_with(
+        &mut self,
+        env: Env<'_>,
+        input: Input<Self>,
+        buf: Vec<Output<Self>>,
+    ) -> Vec<Output<Self>> {
+        let _ = buf;
+        self.handle(env, input)
+    }
+
     /// Stable protocol class of a message (trace/gauge/profiler label).
     fn msg_class(_msg: &Self::Msg) -> &'static str {
         "msg"
@@ -256,13 +271,21 @@ pub struct Fx<'a, M: Machine> {
 impl<'a, M: Machine> Fx<'a, M> {
     /// Open an effects buffer over `env` for one `handle` call.
     pub fn new(env: Env<'a>) -> Fx<'a, M> {
+        Fx::with_buf(env, Vec::new())
+    }
+
+    /// Open an effects buffer that records into `buf`, a host-recycled
+    /// vector. `buf` must be empty: outputs are appended in call order and
+    /// [`Fx::into_outputs`] returns the whole vector.
+    pub fn with_buf(env: Env<'a>, buf: Vec<Output<M>>) -> Fx<'a, M> {
+        debug_assert!(buf.is_empty(), "recycled Fx buffer must be drained");
         Fx {
             now: env.now,
             me: env.me,
             locality: env.locality,
             rng: env.rng,
             tracing: env.tracing,
-            outputs: Vec::new(),
+            outputs: buf,
         }
     }
 

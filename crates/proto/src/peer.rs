@@ -650,6 +650,13 @@ impl FlowerPeer {
         match timer {
             FlowerTimer::Chord(t) => {
                 if let Role::Directory(d) = &mut self.role {
+                    // Deadline timers that were superseded by an in-time
+                    // reply are pure no-ops; skip the dispatch and its
+                    // profiler scope so ring-maintenance cost tracks actual
+                    // churn rather than the number of armed deadlines.
+                    if !d.chord.timer_is_live(&t) {
+                        return;
+                    }
                     let _p = self.pcx.profiler.scope("dring_maint");
                     let actions = d.chord.handle_timer(t);
                     self.apply_chord_actions(ctx, actions);
@@ -819,7 +826,16 @@ impl Machine for FlowerPeer {
     type ApiResp = ApiResp;
 
     fn handle(&mut self, env: Env<'_>, input: Input<Self>) -> Vec<Output<Self>> {
-        let mut ctx = Fx::new(env);
+        self.handle_with(env, input, Vec::new())
+    }
+
+    fn handle_with(
+        &mut self,
+        env: Env<'_>,
+        input: Input<Self>,
+        buf: Vec<Output<Self>>,
+    ) -> Vec<Output<Self>> {
+        let mut ctx = Fx::with_buf(env, buf);
         match input {
             Input::Start => self.on_start(&mut ctx),
             Input::Deliver { from, msg } => self.on_message(&mut ctx, from, msg),

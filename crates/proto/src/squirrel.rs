@@ -769,7 +769,16 @@ impl Machine for SquirrelPeer {
     type ApiResp = ();
 
     fn handle(&mut self, env: Env<'_>, input: Input<Self>) -> Vec<Output<Self>> {
-        let mut ctx = Fx::new(env);
+        self.handle_with(env, input, Vec::new())
+    }
+
+    fn handle_with(
+        &mut self,
+        env: Env<'_>,
+        input: Input<Self>,
+        buf: Vec<Output<Self>>,
+    ) -> Vec<Output<Self>> {
+        let mut ctx = Fx::with_buf(env, buf);
         match input {
             Input::Start => self.on_start(&mut ctx),
             Input::Deliver { from, msg } => self.on_message(&mut ctx, from, msg),

@@ -23,6 +23,7 @@ pub mod conditioner;
 pub mod time;
 pub mod topology;
 pub mod trace;
+pub mod wheel;
 pub mod world;
 
 pub use conditioner::{LinkConditioner, LinkVerdict};
@@ -320,6 +321,50 @@ mod tests {
         assert!(c.index() > b.index().max(a.index()));
         assert_eq!(world.stats().spawned, 3);
         assert_eq!(world.stats().removed, 2);
+    }
+
+    #[test]
+    fn failing_a_node_reclaims_its_pending_timers() {
+        struct Armer;
+        impl Node for Armer {
+            type Msg = ();
+            type Timer = ();
+            type Report = ();
+            fn on_start(&mut self, ctx: &mut Ctx<Self>) {
+                // Spread across the wheel's level-0 block, level 1 and the
+                // overflow horizon so reclamation covers every residence.
+                for i in 0..100u64 {
+                    ctx.set_timer(10 + i * 1_000, ());
+                }
+                ctx.set_timer(20_000_000, ());
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<Self>, _f: NodeId, _m: ()) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<Self>, _t: ()) {}
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let topo = Topology::new(TopologyConfig::default(), &mut rng);
+        let mut world: World<Armer, ()> = World::new(topo, 9);
+        let a = world.spawn(Point::new(0.0, 0.0), |_, _| Armer);
+        world.run(Time::from_millis(5_000), |_, ()| {});
+        let fired_before = world.stats().timers;
+        let pending = world.queue_depth();
+        assert!(pending > 50, "armed timers are pending");
+
+        world.fail(a);
+        assert_eq!(world.stats().timers_cancelled, pending as u64);
+        // Wheel-resident entries are unlinked and reclaimed eagerly; only
+        // the overflow-resident timer may leave a generation-checked key.
+        assert_eq!(world.queue_depth(), 0, "no live entries remain");
+        assert!(world.queue_dead() <= 1, "at most the overflow key is lazy");
+
+        // The dead keys drain without delivering anything.
+        world.run(Time::from_millis(30_000_000), |_, ()| {});
+        assert_eq!(world.queue_dead(), 0);
+        assert_eq!(
+            world.stats().timers,
+            fired_before,
+            "no cancelled timer ever fired"
+        );
     }
 
     #[test]

@@ -201,13 +201,19 @@ impl Topology {
     /// signature onto the locality of its *nearest* landmark, which is the
     /// canonical coarsening used when the number of desired bins is `k`.
     pub fn bin(&self, at: Point) -> LocalityId {
-        let mut order: Vec<usize> = (0..self.landmarks.len()).collect();
-        order.sort_by(|&a, &b| {
-            at.dist(&self.landmarks[a])
-                .partial_cmp(&at.dist(&self.landmarks[b]))
-                .expect("distances are finite")
-        });
-        LocalityId(order[0] as u16)
+        // Allocation-free argmin; strict `<` keeps the lowest index on
+        // ties, matching what the stable sort in `landmark_ordering` puts
+        // first.
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, lm) in self.landmarks.iter().enumerate() {
+            let d = at.dist(lm);
+            if d < best_d {
+                best = i;
+                best_d = d;
+            }
+        }
+        LocalityId(best as u16)
     }
 
     /// The full landmark-distance ordering (the raw bin signature) for a

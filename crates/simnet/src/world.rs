@@ -7,12 +7,16 @@
 //! produce bit-identical runs (ties in the queue are broken by insertion
 //! sequence number).
 //!
+//! The queue is a two-level timer [`Wheel`](crate::wheel::Wheel): event
+//! payloads live in a flat slab and schedule/pop/cancel are O(1) on the hot
+//! path, with no allocation once the slab's free list and the per-callback
+//! scratch buffers have warmed up (`tests/zero_alloc.rs` asserts this with
+//! the counting allocator).
+//!
 //! Nodes are *sans-io*: they only interact with the world through the
 //! [`Ctx`] handed to their callbacks, which records sends, timers and report
 //! emissions to be applied after the callback returns.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::fmt;
 
 use profile::Profiler;
@@ -22,23 +26,31 @@ use rand::SeedableRng;
 use crate::conditioner::{LinkConditioner, LinkVerdict};
 use crate::topology::{LocalityId, Point, Topology};
 use crate::trace::{DropReason, Fields, TraceEvent, TraceSink};
+use crate::wheel::Wheel;
 use crate::Time;
 
 /// Dense identifier of a node in a [`World`]. Ids are never reused: a peer
 /// that fails and later "re-joins" (churn) is a brand-new node with a fresh
 /// id, matching the paper's model where a re-joining peer starts cold.
+///
+/// Ids are 32-bit — they index struct-of-arrays state (topology coordinates,
+/// localities, the wheel's cancel lists) and ride inside every queued event,
+/// so halving them pays for itself at 10⁵–10⁶ peers. [`NodeId::raw`] still
+/// widens to `u64` so seed derivation (`machine_seed`) and the wire codec
+/// are unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct NodeId(u64);
+pub struct NodeId(u32);
 
 impl NodeId {
     pub fn from_index(i: usize) -> NodeId {
-        NodeId(i as u64)
+        assert!(i < u32::MAX as usize, "node index {i} exceeds NodeId range");
+        NodeId(i as u32)
     }
     pub fn index(self) -> usize {
         self.0 as usize
     }
     pub fn raw(self) -> u64 {
-        self.0
+        u64::from(self.0)
     }
 }
 
@@ -100,6 +112,10 @@ pub trait Node {
 /// Execution context passed to node callbacks. Collects the node's outputs
 /// (sends, timers, reports) and exposes the node's identity, the current
 /// time, its locality and the world RNG.
+///
+/// The output `Vec`s are on loan from the world's scratch pool: they keep
+/// their capacity across callbacks, so steady-state dispatch allocates
+/// nothing.
 pub struct Ctx<'a, N: Node + ?Sized> {
     now: Time,
     me: NodeId,
@@ -170,36 +186,13 @@ impl<'a, N: Node + ?Sized> Ctx<'a, N> {
     }
 }
 
-/// A control event scheduled by the experiment engine; delivered to the
-/// engine's callback rather than to any node. Churn (spawns and failures)
-/// and workload injection are driven through these.
+/// A queued event payload: a message delivery, a timer fire, or a control
+/// event for the experiment engine. Lives in the wheel's slab; the wheel
+/// hands it back by value at dispatch time.
 enum EventKind<M, T, C> {
     Deliver { to: NodeId, from: NodeId, msg: M },
     Timer { node: NodeId, timer: T },
     Control(C),
-}
-
-struct QueuedEvent<M, T, C> {
-    at: Time,
-    seq: u64,
-    kind: EventKind<M, T, C>,
-}
-
-impl<M, T, C> PartialEq for QueuedEvent<M, T, C> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M, T, C> Eq for QueuedEvent<M, T, C> {}
-impl<M, T, C> PartialOrd for QueuedEvent<M, T, C> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M, T, C> Ord for QueuedEvent<M, T, C> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 /// Statistics about a finished (or in-progress) run.
@@ -217,6 +210,9 @@ pub struct WorldStats {
     pub duplicated: u64,
     /// Timer events fired.
     pub timers: u64,
+    /// Pending timers cancelled (slab slot reclaimed, never fired) when
+    /// their node failed or left.
+    pub timers_cancelled: u64,
     /// Control events dispatched.
     pub controls: u64,
     /// Nodes spawned over the lifetime of the world.
@@ -234,16 +230,35 @@ impl WorldStats {
     }
 }
 
-/// Min-heap of pending events, keyed by (time, sequence).
-type EventQueue<N, C> = BinaryHeap<Reverse<QueuedEvent<<N as Node>::Msg, <N as Node>::Timer, C>>>;
+/// Scratch buffers loaned to [`Ctx`] for one callback and drained back into
+/// the world afterwards; capacity is retained so dispatch stays
+/// allocation-free in steady state.
+struct Scratch<N: Node> {
+    sends: Vec<(NodeId, N::Msg)>,
+    timers: Vec<(u64, N::Timer)>,
+    reports: Vec<N::Report>,
+    customs: Vec<(&'static str, Fields)>,
+}
+
+impl<N: Node> Default for Scratch<N> {
+    fn default() -> Scratch<N> {
+        Scratch {
+            sends: Vec::new(),
+            timers: Vec::new(),
+            reports: Vec::new(),
+            customs: Vec::new(),
+        }
+    }
+}
 
 /// The simulation world. `N` is the node implementation and `C` the
 /// engine-level control event type.
 pub struct World<N: Node, C> {
     now: Time,
     seq: u64,
-    queue: EventQueue<N, C>,
+    wheel: Wheel<EventKind<N::Msg, N::Timer, C>>,
     nodes: Vec<Option<N>>,
+    live: usize,
     topology: Topology,
     rng: StdRng,
     reports: Vec<(Time, NodeId, N::Report)>,
@@ -251,6 +266,7 @@ pub struct World<N: Node, C> {
     sinks: Vec<Box<dyn TraceSink>>,
     conditioner: LinkConditioner,
     profiler: Profiler,
+    scratch: Scratch<N>,
 }
 
 impl<N: Node, C> World<N, C> {
@@ -259,8 +275,9 @@ impl<N: Node, C> World<N, C> {
         World {
             now: Time::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            wheel: Wheel::new(),
             nodes: Vec::new(),
+            live: 0,
             topology,
             rng: StdRng::seed_from_u64(seed),
             reports: Vec::new(),
@@ -268,6 +285,7 @@ impl<N: Node, C> World<N, C> {
             sinks: Vec::new(),
             conditioner: LinkConditioner::new(seed),
             profiler: Profiler::new(),
+            scratch: Scratch::default(),
         }
     }
 
@@ -285,9 +303,18 @@ impl<N: Node, C> World<N, C> {
         &self.profiler
     }
 
-    /// Pending events in the queue right now — the event-loop depth gauge.
+    /// Live events pending in the queue right now — the event-loop depth
+    /// gauge. Cancelled timers are reclaimed eagerly and never counted.
     pub fn queue_depth(&self) -> usize {
-        self.queue.len()
+        self.wheel.live()
+    }
+
+    /// Stale keys left in the wheel's overflow heap by cancellations (the
+    /// payload slots are already reclaimed; only the 24-byte heap keys
+    /// linger until a pop reaches them). Live-vs-dead queue introspection
+    /// for gauges and tests.
+    pub fn queue_dead(&self) -> u64 {
+        self.wheel.dead_keys()
     }
 
     /// The per-link fault model (loss/duplication/jitter/partitions). Inert
@@ -348,9 +375,9 @@ impl<N: Node, C> World<N, C> {
         self.stats
     }
 
-    /// Number of currently-live nodes.
+    /// Number of currently-live nodes (a maintained counter, O(1)).
     pub fn live_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.is_some()).count()
+        self.live
     }
 
     /// Whether `id` is currently live.
@@ -389,6 +416,7 @@ impl<N: Node, C> World<N, C> {
         let id = NodeId::from_index(self.nodes.len());
         let loc = self.topology.register(id, at);
         self.nodes.push(Some(make(id, loc)));
+        self.live += 1;
         self.stats.spawned += 1;
         if !self.sinks.is_empty() {
             self.emit(TraceEvent::NodeSpawn {
@@ -400,14 +428,17 @@ impl<N: Node, C> World<N, C> {
         id
     }
 
-    /// Silently fail a node: it vanishes without notice, all its pending
-    /// timers are discarded on delivery, and in-flight messages to it are
-    /// dropped. This is the paper's churn model ("a peer always fails and
-    /// never leaves normally").
+    /// Silently fail a node: it vanishes without notice, its pending timers
+    /// are cancelled (their wheel slots reclaimed immediately), and
+    /// in-flight messages to it are dropped at delivery time. This is the
+    /// paper's churn model ("a peer always fails and never leaves
+    /// normally").
     pub fn fail(&mut self, id: NodeId) {
         if let Some(slot) = self.nodes.get_mut(id.index()) {
             if slot.take().is_some() {
+                self.live -= 1;
                 self.stats.removed += 1;
+                self.stats.timers_cancelled += self.wheel.cancel_owned(id.index() as u32);
                 if !self.sinks.is_empty() {
                     self.emit(TraceEvent::NodeFail { node: id });
                 }
@@ -424,8 +455,6 @@ impl<N: Node, C> World<N, C> {
             }
             self.with_node(id, |node, ctx| node.on_leave(ctx));
             self.fail(id);
-            self.stats.removed -= 1; // fail() counted it; keep one count
-            self.stats.removed += 1;
         }
     }
 
@@ -434,11 +463,8 @@ impl<N: Node, C> World<N, C> {
     pub fn schedule_control(&mut self, at: Time, c: C) {
         let at = at.max(self.now);
         let seq = self.bump_seq();
-        self.queue.push(Reverse(QueuedEvent {
-            at,
-            seq,
-            kind: EventKind::Control(c),
-        }));
+        self.wheel
+            .schedule(at.as_millis(), seq, None, EventKind::Control(c));
     }
 
     /// Drain all reports emitted since the last call.
@@ -450,13 +476,9 @@ impl<N: Node, C> World<N, C> {
     /// `until`. Control events are handed to `on_control` together with
     /// `&mut self` so the engine can spawn/fail nodes and inject workload.
     pub fn run(&mut self, until: Time, mut on_control: impl FnMut(&mut Self, C)) {
-        while let Some(at) = self.queue.peek().map(|Reverse(e)| e.at) {
-            if at > until {
-                break;
-            }
-            let Reverse(ev) = self.queue.pop().expect("non-empty");
-            self.now = ev.at;
-            match ev.kind {
+        while let Some((at, kind)) = self.wheel.pop_next(until.as_millis()) {
+            self.now = Time::from_millis(at);
+            match kind {
                 EventKind::Deliver { to, from, msg } => {
                     if self.is_live(to) {
                         self.stats.delivered += 1;
@@ -483,6 +505,9 @@ impl<N: Node, C> World<N, C> {
                     }
                 }
                 EventKind::Timer { node, timer } => {
+                    // Timers are cancelled eagerly at fail/leave, so a
+                    // popped timer's node is always live; the guard stays
+                    // as defence in depth.
                     if self.is_live(node) {
                         self.stats.timers += 1;
                         if !self.sinks.is_empty() {
@@ -514,8 +539,9 @@ impl<N: Node, C> World<N, C> {
         s
     }
 
-    /// Run `f` against node `id` with a fresh `Ctx`, then apply the
-    /// collected actions (sends priced by topology latency, timers, reports).
+    /// Run `f` against node `id` with a `Ctx` over the pooled scratch
+    /// buffers, then apply the collected actions (sends priced by topology
+    /// latency, timers, reports).
     fn with_node(&mut self, id: NodeId, f: impl FnOnce(&mut N, &mut Ctx<'_, N>)) {
         let locality = self.topology.locality(id);
         let Some(slot) = self.nodes.get_mut(id.index()) else {
@@ -530,30 +556,30 @@ impl<N: Node, C> World<N, C> {
             me: id,
             locality,
             rng: &mut self.rng,
-            sends: Vec::new(),
-            timers: Vec::new(),
-            reports: Vec::new(),
+            sends: std::mem::take(&mut self.scratch.sends),
+            timers: std::mem::take(&mut self.scratch.timers),
+            reports: std::mem::take(&mut self.scratch.reports),
             stop_self: false,
             tracing,
-            customs: Vec::new(),
+            customs: std::mem::take(&mut self.scratch.customs),
         };
         f(node, &mut ctx);
         let Ctx {
-            sends,
-            timers,
-            reports,
+            mut sends,
+            mut timers,
+            mut reports,
             stop_self,
-            customs,
+            mut customs,
             ..
         } = ctx;
-        for (name, fields) in customs {
+        for (name, fields) in customs.drain(..) {
             self.emit(TraceEvent::Custom {
                 node: id,
                 name,
                 fields,
             });
         }
-        for (to, msg) in sends {
+        for (to, msg) in sends.drain(..) {
             // One accounting entry per logical protocol send (conditioner
             // duplicates are artifacts of the fault model, not overhead the
             // protocol chose to pay).
@@ -603,27 +629,25 @@ impl<N: Node, C> World<N, C> {
                     latency_ms: delay,
                 });
             }
-            let at = self.now + delay;
+            let at = (self.now + delay).as_millis();
             for _ in 1..copies {
                 let seq = self.bump_seq();
-                self.queue.push(Reverse(QueuedEvent {
+                self.wheel.schedule(
                     at,
                     seq,
-                    kind: EventKind::Deliver {
+                    None,
+                    EventKind::Deliver {
                         to,
                         from: id,
                         msg: msg.clone(),
                     },
-                }));
+                );
             }
             let seq = self.bump_seq();
-            self.queue.push(Reverse(QueuedEvent {
-                at,
-                seq,
-                kind: EventKind::Deliver { to, from: id, msg },
-            }));
+            self.wheel
+                .schedule(at, seq, None, EventKind::Deliver { to, from: id, msg });
         }
-        for (delay, timer) in timers {
+        for (delay, timer) in timers.drain(..) {
             if tracing {
                 self.emit(TraceEvent::TimerSet {
                     node: id,
@@ -631,17 +655,22 @@ impl<N: Node, C> World<N, C> {
                     delay_ms: delay.max(1),
                 });
             }
-            let at = self.now + delay.max(1);
+            let at = (self.now + delay.max(1)).as_millis();
             let seq = self.bump_seq();
-            self.queue.push(Reverse(QueuedEvent {
+            self.wheel.schedule(
                 at,
                 seq,
-                kind: EventKind::Timer { node: id, timer },
-            }));
+                Some(id.index() as u32),
+                EventKind::Timer { node: id, timer },
+            );
         }
-        for r in reports {
+        for r in reports.drain(..) {
             self.reports.push((self.now, id, r));
         }
+        self.scratch.sends = sends;
+        self.scratch.timers = timers;
+        self.scratch.reports = reports;
+        self.scratch.customs = customs;
         if stop_self {
             self.fail(id);
         }

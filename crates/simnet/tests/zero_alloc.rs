@@ -4,11 +4,17 @@
 //! regression (an eager `format!`, a `Vec` built for a sink that isn't
 //! there) fails the suite instead of silently taxing every run.
 
+use std::sync::Mutex;
+
 use rand::SeedableRng;
 use simnet::{Ctx, Node, NodeId, Point, Time, Topology, TopologyConfig, VecSink, World};
 
 #[global_allocator]
 static ALLOC: profile::CountingAlloc = profile::CountingAlloc;
+
+/// The allocation counter is process-global, so the tests in this file
+/// must not overlap; each one holds this lock for its whole body.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 /// A node that pre-arms a long ladder of one-shot timers at spawn and
 /// then does nothing in its callbacks: after setup, the event loop only
@@ -52,6 +58,7 @@ fn build_world(seed: u64) -> World<Metronome, ()> {
 /// process-global, so concurrent test threads would pollute the window.
 #[test]
 fn dispatch_fast_path_allocates_nothing_and_observability_is_the_only_cost() {
+    let _serial = SERIAL.lock().unwrap();
     // --- Fast path: no sink, profiler disabled. ---
     let mut world = build_world(7);
     // Warm up: the first stretch absorbs any lazy one-time setup.
@@ -92,5 +99,78 @@ fn dispatch_fast_path_allocates_nothing_and_observability_is_the_only_cost() {
         rows.iter().any(|r| r.path == "timer/tick"),
         "expected a timer/tick phase, got {:?}",
         rows.iter().map(|r| r.path.clone()).collect::<Vec<_>>()
+    );
+}
+
+/// A node in a 10k-peer ring: every period it pings its successor and
+/// re-arms. Steady state exercises the full hot path — timer pop, message
+/// schedule through the topology's latency model, delivery, re-arm — with
+/// events continuously entering and leaving the wheel's slab.
+struct RingPinger {
+    me: usize,
+    population: usize,
+    period_ms: u64,
+}
+
+impl Node for RingPinger {
+    type Msg = ();
+    type Timer = ();
+    type Report = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<Self>) {
+        // Stagger the ring so fires spread across wheel slots instead of
+        // stacking on one tick.
+        ctx.set_timer(self.period_ms + (self.me as u64 % 97), ());
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<Self>, _from: NodeId, _msg: ()) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<Self>, _timer: ()) {
+        let succ = NodeId::from_index((self.me + 1) % self.population);
+        ctx.send(succ, ());
+        ctx.set_timer(self.period_ms, ());
+    }
+
+    fn timer_class(_t: &()) -> &'static str {
+        "ping"
+    }
+}
+
+/// At P = 10_000 the steady state stays allocation-free: after warm-up
+/// (slab, buckets and scratch buffers at their high-water marks) a full
+/// measured minute of pops, deliveries and re-arms does not allocate once.
+#[test]
+fn ten_thousand_node_steady_state_allocates_nothing() {
+    let _serial = SERIAL.lock().unwrap();
+    const P: usize = 10_000;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let topo = Topology::new(TopologyConfig::default(), &mut rng);
+    let mut world: World<RingPinger, ()> = World::new(topo, 11);
+    for i in 0..P {
+        let x = (i % 1000) as f64;
+        let y = (i / 1000) as f64;
+        world.spawn(Point::new(x, y), |id, _| RingPinger {
+            me: id.index(),
+            population: P,
+            period_ms: 500,
+        });
+    }
+
+    // Warm up one minute of sim time: every node has fired repeatedly, so
+    // the wheel slab and the world's scratch buffers are at capacity.
+    world.run(Time::from_millis(60_000), |_, ()| {});
+    let warm_events = world.stats().timers + world.stats().delivered;
+    assert!(warm_events > 1_000_000, "warm-up dispatched {warm_events}");
+
+    let before = profile::alloc_count();
+    world.run(Time::from_millis(120_000), |_, ()| {});
+    let delta = profile::alloc_count() - before;
+
+    let events = world.stats().timers + world.stats().delivered - warm_events;
+    assert!(events > 2_000_000, "measured window dispatched {events}");
+    assert_eq!(
+        delta, 0,
+        "P={P} steady state must not allocate: {events} events, {delta} allocations"
     );
 }

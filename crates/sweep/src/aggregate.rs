@@ -162,17 +162,33 @@ pub fn summary_json(results: &[CellResult]) -> String {
                 .iter()
                 .map(|(_, p)| p.wall_ms)
                 .fold(0.0_f64, f64::max);
+            let eps = aggregate(
+                &cell
+                    .perf
+                    .iter()
+                    .map(|(_, p)| p.events_per_sec)
+                    .collect::<Vec<_>>(),
+            );
+            let eps_min = cell
+                .perf
+                .iter()
+                .map(|(_, p)| p.events_per_sec)
+                .fold(f64::INFINITY, f64::min);
             let rss_max = cell
                 .perf
                 .iter()
                 .map(|(_, p)| p.peak_rss_bytes)
                 .max()
                 .unwrap_or(0);
+            // Throughput regressions care about the *worst* run
+            // (events_per_sec_min); memory budgets care about the worst
+            // footprint (peak_rss_max) — both keyed per population cell.
             let _ = write!(
                 out,
                 ",\"perf\":{{\"wall_ms_mean\":{:.3},\"wall_ms_max\":{wall_max:.3},\
+                 \"events_per_sec_mean\":{:.0},\"events_per_sec_min\":{eps_min:.0},\
                  \"peak_rss_max\":{rss_max}}}",
-                wall.mean
+                wall.mean, eps.mean
             );
         }
         out.push('}');
@@ -288,5 +304,8 @@ mod tests {
         let j = summary_json(std::slice::from_ref(&profiled));
         assert!(j.contains("\"perf\":{\"wall_ms_mean\":250.000"));
         assert!(j.contains("\"peak_rss_max\":67108864"));
+        // with_derived: 1000 events over 250 ms = 4000 events/sec.
+        assert!(j.contains("\"events_per_sec_mean\":4000"));
+        assert!(j.contains("\"events_per_sec_min\":4000"));
     }
 }
